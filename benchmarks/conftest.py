@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one figure/table of the paper at the
+``small`` scale (see ``repro.experiments.scale``) and prints the rows,
+so ``pytest benchmarks/ --benchmark-only`` reproduces the evaluation.
+Set ``TLT_BENCH_SCALE=tiny`` for a quick pass or ``medium``/``paper``
+for larger runs.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("TLT_BENCH_SCALE", "small")
+
+
+def run_and_print(benchmark, fn, printer, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and print its rows."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+    printer(result)
+    return result

@@ -1,0 +1,41 @@
+"""Benchmarks: extension/ablation experiments beyond the paper's
+evaluation section (incremental deployment §5.3; periodic-N footnote)."""
+
+from repro.experiments import ext_incremental, ext_periodic_n
+from repro.experiments.common import format_table
+
+
+def test_ext_incremental_deployment(benchmark, bench_scale):
+    rows = benchmark.pedantic(ext_incremental.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, ext_incremental.COLUMNS, "Incremental deployment"))
+    by = {r["deployment"]: r for r in rows}
+    # Isolated deployment must not hurt legacy traffic more than the
+    # misconfigured shared queue does.
+    assert by["isolated"]["legacy_timeouts"] <= by["shared-bad"]["legacy_timeouts"]
+
+
+def test_ext_corruption_fallback(benchmark, bench_scale):
+    from repro.experiments import ext_corruption
+
+    rows = benchmark.pedantic(ext_corruption.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, ext_corruption.COLUMNS, "Corruption fallback"))
+    # The fallback is graceful: every flow still completes at every rate.
+    assert all(r["incomplete"] == 0 for r in rows)
+    # Heavy corruption brings (at least as many) timeouts back.
+    assert rows[-1]["timeouts_per_1k"] >= rows[0]["timeouts_per_1k"]
+
+
+def test_ext_periodic_n(benchmark, bench_scale):
+    rows = benchmark.pedantic(ext_periodic_n.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, ext_periodic_n.COLUMNS, "Periodic marking N"))
+    assert len(rows) == 5
+    # Smaller N marks more packets important.
+    n48 = next(r for r in rows if r["periodic_n"] == 48)
+    n384 = next(r for r in rows if r["periodic_n"] == 384)
+    assert n48["important_fraction"] >= n384["important_fraction"]

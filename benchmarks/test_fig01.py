@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 1 (RTT vs estimated RTO CDFs)."""
+
+from repro.experiments import fig01_rto_cdf as exp
+from repro.experiments.common import format_table
+
+
+def test_fig01_rto_cdf(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, ["group", "metric", "p50", "p90", "p99"],
+                       "Figure 1: RTT vs estimated RTO"))
+    assert len(rows) == 4
+    # Estimated RTOs sit above typical RTTs (the paper's point).
+    bg_rtt = next(r for r in rows if r["group"] == "bg" and r["metric"] == "rtt_us")
+    bg_rto = next(r for r in rows if r["group"] == "bg" and r["metric"] == "rto_us")
+    assert bg_rto["p90"] >= bg_rtt["p50"]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 2 (fixed 160us RTO strawman)."""
+
+from repro.experiments import fig02_fixed_rto as exp
+from repro.experiments.common import format_table
+
+
+def test_fig02_fixed_rto(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, ["scheme", "fg_p99_ms", "bg_avg_ms",
+                              "timeouts_per_1k", "timeout_ratio_vs_baseline"],
+                       "Figure 2"))
+    assert len(rows) == 2
+    fixed = next(r for r in rows if r["scheme"] == "fixed_160us")
+    base = next(r for r in rows if r["scheme"] == "baseline_4ms")
+    # The aggressive timer fires far more often (51x in the paper).
+    assert fixed["timeouts_per_1k"] > base["timeouts_per_1k"]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 5 (TCP/DCTCP FCT per recovery scheme)."""
+
+from repro.experiments import fig05_tcp_family as exp
+from repro.experiments.common import format_table
+
+
+def test_fig05_tcp_family(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 5"))
+    assert len(rows) == 12  # 2 transports x 6 schemes
+    for transport in ("dctcp", "tcp"):
+        base = next(r for r in rows if r["transport"] == transport and r["scheme"] == "baseline")
+        tlt = next(r for r in rows if r["transport"] == transport and r["scheme"] == "tlt")
+        # TLT (virtually) eliminates timeouts versus the baseline.
+        assert tlt["timeouts_per_1k"] <= base["timeouts_per_1k"]
+        assert tlt["incomplete"] == 0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 6 (RoCE transports FCT)."""
+
+from repro.experiments import fig06_roce_family as exp
+from repro.experiments.common import format_table
+
+
+def test_fig06_roce_family(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 6"))
+    # hpcc/dcqcn-sack/dcqcn have 4 schemes, irn has 2.
+    assert len(rows) == 4 + 2 + 4 + 4
+    for transport in ("hpcc", "irn", "dcqcn-sack", "dcqcn"):
+        base = next(r for r in rows if r["transport"] == transport and r["scheme"] == "baseline")
+        tlt = next(r for r in rows if r["transport"] == transport and r["scheme"] == "tlt")
+        assert tlt["timeouts_per_1k"] <= base["timeouts_per_1k"]

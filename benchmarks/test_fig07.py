@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (timeouts, PAUSE frames, paused time)."""
+
+from repro.experiments import fig07_timeouts_pauses as exp
+from repro.experiments.common import format_table
+
+
+def test_fig07_timeouts_pauses(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 7"))
+    assert len(rows) == 12
+    for transport in ("dctcp", "tcp"):
+        tlt = next(r for r in rows if r["transport"] == transport and r["scheme"] == "tlt")
+        pfc = next(r for r in rows if r["transport"] == transport and r["scheme"] == "pfc")
+        tlt_pfc = next(r for r in rows if r["transport"] == transport and r["scheme"] == "tlt+pfc")
+        assert tlt["timeouts_per_1k"] == 0  # TLT virtually eliminates timeouts
+        # TLT reduces PAUSE pressure under PFC.
+        assert tlt_pfc["pause_per_1k"] <= pfc["pause_per_1k"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (color-aware threshold sweep)."""
+
+from repro.experiments import fig08_threshold_sweep as exp
+from repro.experiments.common import format_table
+
+
+def test_fig08_threshold_sweep(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 8"))
+    assert len(rows) == 10  # 5 thresholds x {no-PFC, PFC}
+    no_pfc = [r for r in rows if not r["pfc"]]
+    # A larger threshold leaves more room for red packets: the average
+    # background FCT should not get worse as K grows (paper Fig 8a).
+    assert no_pfc[-1]["bg_avg_ms"] <= no_pfc[0]["bg_avg_ms"] * 1.5

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 9 (load sweep, PFC on)."""
+
+from repro.experiments import fig09_load_sweep as exp
+from repro.experiments.common import format_table
+
+
+def test_fig09_load_sweep(benchmark, bench_scale):
+    loads = (0.2, 0.4, 0.6)
+    rows = benchmark.pedantic(
+        exp.run, kwargs={"scale": bench_scale, "loads": loads},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 9"))
+    assert len(rows) == 2 * 2 * len(loads)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (important fraction vs fg share)."""
+
+from repro.experiments import fig10_fg_share as exp
+from repro.experiments.common import format_table
+
+
+def test_fig10_fg_share(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 10"))
+    assert len(rows) == 6
+    # More foreground -> more important packets (paper Fig 10).
+    assert rows[-1]["important_fraction"] > rows[0]["important_fraction"]
+    # Background-only traffic marks only a small fraction.
+    assert rows[0]["important_fraction"] < 0.15

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 11 (important fraction & queue sizes)."""
+
+from repro.experiments import fig11_queue_behavior as exp
+from repro.experiments.common import format_table
+
+
+def test_fig11_queue_behavior(benchmark, bench_scale):
+    results = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                                 iterations=1, rounds=1)
+    print()
+    print(format_table(results["fraction"], exp.COLUMNS_A, "Figure 11a"))
+    print(format_table(results["queues"], exp.COLUMNS_B, "Figure 11b"))
+    queues = {r["scheme"]: r for r in results["queues"]}
+    # TLT caps the red queue at/below the 400 kB threshold and keeps the
+    # total maximum queue below vanilla DCTCP's.
+    assert queues["dctcp+tlt"]["max_red_queue_kB"] <= 400
+    assert queues["dctcp+tlt"]["max_queue_kB"] <= queues["dctcp"]["max_queue_kB"]

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 12 (Redis/web-tier incast)."""
+
+from repro.experiments import fig12_redis_incast as exp
+from repro.experiments.common import format_table
+
+
+def test_fig12_redis_incast(benchmark, bench_scale):
+    counts = (8, 60, 180)
+    rows = benchmark.pedantic(
+        exp.run, kwargs={"scale": bench_scale, "request_counts": counts},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 12"))
+    assert len(rows) == 2 * 2 * len(counts)
+    assert all(r["answered"] > 0 for r in rows)
+    # TLT keeps the high-fan-in case timeout-free.
+    for transport in ("tcp", "dctcp"):
+        tlt_max = next(r for r in rows
+                       if r["transport"] == transport and r["tlt"] and r["requests"] == 180)
+        assert tlt_max["timeouts"] == 0

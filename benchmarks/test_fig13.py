@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 13 (mixed cache + background traffic)."""
+
+from repro.experiments import fig13_mixed_traffic as exp
+from repro.experiments.common import format_table
+
+
+def test_fig13_mixed_traffic(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 13"))
+    assert len(rows) == 2
+    base, tlt = rows
+    assert base["answered"] == tlt["answered"] == 152
+    # TLT cuts the foreground 99%-ile (71% in the paper).
+    assert tlt["fg_p99_ms"] <= base["fg_p99_ms"]
+    # ... without destroying background goodput.
+    assert tlt["bg_goodput_gbps"] > 0.5 * base["bg_goodput_gbps"]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 15 (workload/load grid).
+
+The default covers a representative subset; run the module's ``main``
+with ``loads=(0.2,0.3,0.4,0.5), full_schemes=True`` for the full grid.
+"""
+
+from repro.experiments import fig15_workloads as exp
+from repro.experiments.common import format_table
+
+
+def test_fig15_workloads(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 15 (subset)"))
+    # 3 workloads x 1 load x 5 transports x 2 schemes.
+    assert len(rows) == 30
+    # (DC)TCP/IRN: TLT beats the baseline tail in every workload.
+    for workload in exp.WORKLOADS:
+        for transport in ("dctcp", "irn"):
+            pair = [r for r in rows
+                    if r["workload"] == workload and r["transport"] == transport]
+            base = next(r for r in pair if r["scheme"] != "tlt")
+            tlt = next(r for r in pair if r["scheme"] == "tlt")
+            assert tlt["fg_p999_ms"] <= base["fg_p999_ms"] * 1.5

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 17 (ACK-clocking policy ablation)."""
+
+from repro.experiments import fig17_clocking_ablation as exp
+from repro.experiments.common import format_table
+
+
+def test_fig17_clocking_ablation(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 17"))
+    by_policy = {r["policy"]: r for r in rows}
+    # Adaptive clocking uses (much) less clocking bandwidth than 1-MTU
+    # (6.9x in the paper).
+    assert by_policy["adaptive"]["clocking_kB"] <= by_policy["mtu"]["clocking_kB"]
+    # And recovers (much) faster than 1-byte clocking at the tail.
+    assert by_policy["adaptive"]["fg_p999_ms"] <= by_policy["1b"]["fg_p999_ms"] * 1.5

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 18 (incast degree sweep)."""
+
+from repro.experiments import fig18_incast_degree as exp
+from repro.experiments.common import format_table
+
+
+def test_fig18_incast_degree(benchmark, bench_scale):
+    degrees = (2, 6, 10)
+    rows = benchmark.pedantic(
+        exp.run, kwargs={"scale": bench_scale, "degrees": degrees},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table(rows, exp.COLUMNS, "Figure 18"))
+    assert len(rows) == 2 * 2 * len(degrees)
+    # At the highest incast degree TLT lowers the foreground tail.
+    for transport in ("tcp", "hpcc"):
+        base = next(r for r in rows if r["transport"] == transport
+                    and not r["tlt"] and r["degree"] == 10)
+        tlt = next(r for r in rows if r["transport"] == transport
+                   and r["tlt"] and r["degree"] == 10)
+        assert tlt["fg_p999_ms"] <= base["fg_p999_ms"]

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the simulator itself (not a paper figure).
+
+Tracks the engine's raw event throughput and the end-to-end packet
+forwarding rate, so performance regressions in the hot paths show up
+in the benchmark report alongside the figure regenerations.
+"""
+
+from repro.net.topology import TopologyParams, star
+from repro.sim.engine import Engine
+from repro.switchsim.switch import SwitchConfig
+from repro.transport.base import FlowSpec, TransportConfig
+from repro.transport.registry import create_flow
+
+
+def _star(num_hosts=4, **switch_kwargs):
+    switch_kwargs.setdefault("buffer_bytes", 1_000_000)
+    params = TopologyParams(
+        switch_config=SwitchConfig(**switch_kwargs),
+        host_link_delay_ns=1_000,
+        fabric_link_delay_ns=1_000,
+    )
+    return star(num_hosts=num_hosts, params=params)
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        engine = Engine()
+
+        def chain(n):
+            if n:
+                engine.schedule(1, chain, n - 1)
+
+        engine.schedule(0, chain, 100_000)
+        engine.run()
+        return engine.events_processed
+
+    events = benchmark(run_events)
+    assert events == 100_001
+
+
+def test_flow_forwarding_rate(benchmark):
+    """One 5 MB TCP flow across a star switch: ~7k packets round trip."""
+
+    def run_flow_once():
+        net = _star()
+        spec = FlowSpec(flow_id=net.new_flow_id(), src=0, dst=1, size=5_000_000)
+        create_flow("tcp", net, spec, TransportConfig(base_rtt_ns=4_000))
+        net.engine.run()
+        assert net.stats.flows[spec.flow_id].completed
+        return net.engine.events_processed
+
+    events = benchmark(run_flow_once)
+    assert events > 10_000
+
+
+def test_incast_simulation_rate(benchmark):
+    """An 8-to-1 DCTCP incast with TLT — the common experiment kernel."""
+    from repro.core.config import TltConfig
+
+    def run_incast():
+        net = _star(num_hosts=9, color_threshold_bytes=100_000)
+        config = TransportConfig(base_rtt_ns=4_000)
+        for src in range(1, 9):
+            spec = FlowSpec(flow_id=net.new_flow_id(), src=src, dst=0, size=128_000)
+            create_flow("dctcp", net, spec, config, TltConfig())
+        net.engine.run(until=5_000_000_000)
+        assert net.stats.incomplete_flows() == 0
+        return net.engine.events_processed
+
+    benchmark(run_incast)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (important-packet loss rate)."""
+
+from repro.experiments import table1_important_loss as exp
+from repro.experiments.common import format_table
+
+
+def test_table1_important_loss(benchmark, bench_scale):
+    rows = benchmark.pedantic(exp.run, kwargs={"scale": bench_scale},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, exp.COLUMNS, "Table 1"))
+    assert len(rows) == 2 * (2 * 3 + 2)  # paper grid + stress rows
+    # At the paper's recommended 400 kB threshold with 5% foreground,
+    # DCTCP shows no important packet drops.
+    dctcp_400 = next(r for r in rows if r["transport"] == "dctcp"
+                     and r["threshold_kB"] == 400 and r["fg_share"] == 0.05)
+    assert dctcp_400["important_loss_rate"] < 1e-4

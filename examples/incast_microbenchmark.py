@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Testbed-style incast microbenchmark (§7.4, Fig 14).
+
+A client fetches 32 kB blobs from 8 servers with growing fan-in and
+three recovery schemes: the 4 ms RTO_min default, an aggressive 200 µs
+RTO_min, and TLT. Run:
+
+    python examples/incast_microbenchmark.py
+"""
+
+from repro.experiments.fig14_incast_microbench import run_one
+
+
+def main() -> None:
+    print(f"{'scheme':10s} {'flows':>6s} {'p99 (ms)':>10s} {'max (ms)':>10s} {'timeouts':>9s}")
+    for flows in (16, 64, 128):
+        for scheme in ("rto4ms", "rto200us", "tlt"):
+            row = run_one("dctcp", scheme, flows, runs=2)
+            print(
+                f"{scheme:10s} {flows:6d} {row['p99_ms']:10.3f} "
+                f"{row['max_ms']:10.3f} {row['timeouts']:9.0f}"
+            )
+        print()
+    print("TLT sustains the largest fan-in with zero timeouts: the burst")
+    print("sheds red packets early while every flow's green packet keeps")
+    print("loss detection and ACK-clocking alive.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: TLT in ~40 lines.
+
+Builds a small leaf-spine fabric, fires a synchronized incast of short
+DCTCP flows at one host, and compares the tail flow completion time
+with and without TLT. Run:
+
+    python examples/quickstart.py
+"""
+
+from repro.core.config import TltConfig
+from repro.experiments.scale import TINY
+from repro.experiments.scenarios import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    print("Running DCTCP incast with and without TLT...\n")
+    for tlt in (False, True):
+        config = ScenarioConfig(
+            transport="dctcp",
+            tlt=tlt,
+            tlt_config=TltConfig(),
+            scale=TINY,
+            fg_share=0.10,  # 10% of traffic is incast bursts
+            seed=7,
+        )
+        result = run_scenario(config)
+        stats = result.stats
+        label = "DCTCP + TLT" if tlt else "DCTCP      "
+        print(
+            f"{label}  foreground p99 FCT = {result.fg_p99_ms():7.3f} ms   "
+            f"p99.9 = {result.fg_p999_ms():7.3f} ms   "
+            f"timeouts/1k flows = {stats.timeouts_per_1k_flows():5.1f}   "
+            f"drops (red/green) = {stats.drops_red}/{stats.drops_green}"
+        )
+    print(
+        "\nTLT marks ~one packet per flow per RTT as 'important' (green);"
+        "\nswitches reserve buffer for green packets via color-aware"
+        "\ndropping, so losses never hit the packets whose loss would"
+        "\ncause a retransmission timeout."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Thin shim so `pip install -e . --no-use-pep517` works on offline
+machines that lack the `wheel` package; all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

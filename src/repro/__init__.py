@@ -1,0 +1,31 @@
+"""repro — a reproduction of TLT (Timeout-Less Transport), EuroSys 2021.
+
+The package provides:
+
+- ``repro.sim`` — a deterministic discrete-event simulation engine.
+- ``repro.net`` — packets, links, NICs, routing and topology builders.
+- ``repro.switchsim`` — shared-buffer switches with dynamic thresholds,
+  color-aware dropping, ECN marking and Priority-based Flow Control.
+- ``repro.transport`` — TCP NewReno, DCTCP, TLP, DCQCN, DCQCN+SACK, IRN
+  and HPCC implemented from scratch on the simulator.
+- ``repro.core`` — TLT itself: the host-side important-packet selection
+  for window- and rate-based transports, and the mark→color ACL.
+- ``repro.workload`` — background (Poisson) and foreground (incast)
+  traffic generators over published datacenter flow-size distributions.
+- ``repro.apps`` — an RPC / key-value-store emulation used by the
+  application-level benchmarks.
+- ``repro.experiments`` — one module per figure/table of the paper's
+  evaluation, each regenerating the corresponding rows/series.
+
+Quickstart::
+
+    from repro.experiments.scenarios import ScenarioConfig, run_scenario
+
+    cfg = ScenarioConfig(transport="dctcp", tlt=True)
+    result = run_scenario(cfg)
+    print(result.fct_summary())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

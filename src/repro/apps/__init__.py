@@ -1,0 +1,16 @@
+"""Application emulation for the testbed benchmarks (§7.3).
+
+The paper drives TLT with real applications (HTTP clients → NGINX web
+servers → a Redis cache). The network-relevant behaviour is the
+messaging pattern: small requests fanning out, large values fanning in.
+:mod:`repro.apps.rpc` provides one-message-per-flow RPC on top of any
+transport in the suite; :mod:`repro.apps.kvstore` builds a Redis-like
+SET/GET server on it; :mod:`repro.apps.webtier` assembles the paper's
+client → web servers → cache pipeline.
+"""
+
+from repro.apps.rpc import RpcNode
+from repro.apps.kvstore import KvClient, KvServer
+from repro.apps.webtier import WebTier, WebTierResult
+
+__all__ = ["RpcNode", "KvClient", "KvServer", "WebTier", "WebTierResult"]

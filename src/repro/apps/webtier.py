@@ -1,0 +1,121 @@
+"""The paper's application benchmark pipeline (§7.3, Fig 12).
+
+One HTTP client fans requests over N web servers; each request makes
+its web server issue a 32 kB SET to the cache (Redis) node — the
+fan-in from all web servers to the one cache node is the incast the
+benchmark stresses — and reply to the client once the SET is
+acknowledged. The client-perceived response time per request is the
+reported metric.
+
+Host layout on a star topology: host 0 = client, hosts 1..N = web
+servers, host N+1 = cache node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.apps.kvstore import KvClient, KvServer
+from repro.apps.rpc import RpcNode
+from repro.core.config import TltConfig
+from repro.net.topology import Network
+from repro.stats.percentile import summarize
+from repro.transport.base import TransportConfig
+
+REQUEST_BYTES = 200
+RESPONSE_BYTES = 500
+
+
+@dataclass
+class WebTierResult:
+    """Client-perceived response times of one run."""
+
+    response_times_ns: List[int] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, float]:
+        return summarize(self.response_times_ns)
+
+    def p99_ms(self) -> float:
+        return self.summary()["p99"] / 1e6
+
+    def max_ms(self) -> float:
+        return self.summary()["max"] / 1e6
+
+
+class WebTier:
+    """Client → web servers → cache pipeline on an existing network."""
+
+    def __init__(
+        self,
+        net: Network,
+        transport: str = "dctcp",
+        config: Optional[TransportConfig] = None,
+        tlt: Optional[TltConfig] = None,
+        num_web_servers: int = 8,
+        value_size: int = 32_000,
+    ):
+        if len(net.hosts) < num_web_servers + 2:
+            raise ValueError("need client + web servers + cache hosts")
+        self.net = net
+        self.value_size = value_size
+        self.result = WebTierResult()
+        self._inflight: Dict[int, int] = {}  # request id -> issue time
+        self._next_request = 0
+
+        def node(host_id: int) -> RpcNode:
+            return RpcNode(net, host_id, transport, config, tlt)
+
+        self.client = node(0)
+        self.web_nodes = [node(i + 1) for i in range(num_web_servers)]
+        self.cache = KvServer(node(num_web_servers + 1))
+        self.kv_clients = [KvClient(n, self.cache) for n in self.web_nodes]
+
+        self.client.on_message(self._on_response)
+        for web_node, kv in zip(self.web_nodes, self.kv_clients):
+            web_node.on_message(self._make_web_handler(web_node, kv))
+
+    # -- web server behaviour ---------------------------------------------------
+
+    def _make_web_handler(self, web_node: RpcNode, kv: KvClient):
+        def handle(src: int, size: int, meta: Dict[str, Any]) -> None:
+            if meta.get("op") != "http_req":
+                return
+            request_id = meta["request_id"]
+
+            def replied(op_id: int) -> None:
+                web_node.send(
+                    self.client,
+                    RESPONSE_BYTES,
+                    meta={"op": "http_resp", "request_id": request_id},
+                )
+
+            kv.set(f"req-{request_id}", self.value_size, on_reply=replied)
+
+        return handle
+
+    def _on_response(self, src: int, size: int, meta: Dict[str, Any]) -> None:
+        if meta.get("op") != "http_resp":
+            return
+        issued = self._inflight.pop(meta["request_id"], None)
+        if issued is not None:
+            self.result.response_times_ns.append(self.net.engine.now - issued)
+
+    # -- load generation ------------------------------------------------------------
+
+    def issue_requests(self, count: int) -> None:
+        """Issue ``count`` simultaneous requests, round-robin across the
+        web servers (the paper's synchronized burst)."""
+        now = self.net.engine.now
+        for i in range(count):
+            request_id = self._next_request
+            self._next_request += 1
+            self._inflight[request_id] = now
+            web = self.web_nodes[i % len(self.web_nodes)]
+            self.client.send(
+                web, REQUEST_BYTES, meta={"op": "http_req", "request_id": request_id}
+            )
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)

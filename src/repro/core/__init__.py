@@ -1,0 +1,23 @@
+"""TLT — Timeout-Less Transport (the paper's contribution).
+
+- :mod:`repro.core.marks` — mark→color ACL (the DSCP mapping of §6).
+- :mod:`repro.core.config` — :class:`TltConfig`.
+- :mod:`repro.core.window` — TLT for window-based transports
+  (Algorithm 1: Important Data/Echo, Important Clock Data/Echo,
+  adaptive important ACK-clocking).
+- :mod:`repro.core.rate` — TLT for rate-based transports (last-packet,
+  periodic-N and retransmission-round marking, §5.2).
+"""
+
+from repro.core.config import ClockingPolicy, TltConfig
+from repro.core.marks import color_for_mark
+from repro.core.window import TltWindowReceiver, TltWindowSender, attach_window_tlt
+
+__all__ = [
+    "ClockingPolicy",
+    "TltConfig",
+    "color_for_mark",
+    "TltWindowReceiver",
+    "TltWindowSender",
+    "attach_window_tlt",
+]

@@ -1,0 +1,34 @@
+"""TLT configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class ClockingPolicy(Enum):
+    """Important ACK-clocking payload policy (§5.1 / Appendix B Fig 17).
+
+    - ``ADAPTIVE`` — the paper's design: 1 MSS of lost data when the
+      Important Echo indicated a loss, 1 byte otherwise.
+    - ``ALWAYS_1B`` — ablation: always 1 byte (slow recovery).
+    - ``ALWAYS_MTU`` — ablation: always a full segment (bandwidth-heavy).
+    """
+
+    ADAPTIVE = "adaptive"
+    ALWAYS_1B = "1b"
+    ALWAYS_MTU = "mtu"
+
+
+@dataclass
+class TltConfig:
+    """Host-side TLT knobs.
+
+    ``periodic_n`` enables the optional every-N-packets marking for
+    rate-based transports (§5.2); the paper uses N=96 for vanilla DCQCN
+    (the topology's largest fan-out degree) and notes insensitivity to N.
+    """
+
+    clocking: ClockingPolicy = ClockingPolicy.ADAPTIVE
+    periodic_n: Optional[int] = 96

@@ -1,0 +1,32 @@
+"""Mark → color ACL.
+
+On the testbed TLT writes the DSCP field and the switch ACL maps DSCP
+values to colors (§6, 'Switch configuration'). In the simulator marks
+travel on the packet and this function is the ACL: anything important
+(data marked Important/Important Clock, and every control packet) is
+green; plain data is red (unimportant, subject to color-aware drop).
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Color, Packet, TltMark
+
+_GREEN_MARKS = frozenset(
+    {
+        TltMark.IMPORTANT_DATA,
+        TltMark.IMPORTANT_ECHO,
+        TltMark.IMPORTANT_CLOCK_DATA,
+        TltMark.IMPORTANT_CLOCK_ECHO,
+        TltMark.CONTROL,
+    }
+)
+
+
+def color_for_mark(mark: TltMark) -> Color:
+    """The network-layer color a mark maps to."""
+    return Color.GREEN if mark in _GREEN_MARKS else Color.RED
+
+
+def apply_acl(packet: Packet) -> None:
+    """Stamp the packet's color from its TLT mark."""
+    packet.color = color_for_mark(packet.mark)

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Every ``figXX_*``/``table1_*`` module exposes ``run(scale=...)``
+returning result rows and a ``main()`` that prints them; benchmarks in
+``benchmarks/`` call the same entry points so
+``pytest benchmarks/ --benchmark-only`` regenerates the evaluation.
+"""
+
+from repro.experiments.scenarios import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.scale import SCALES, Scale
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario", "SCALES", "Scale"]

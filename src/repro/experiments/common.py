@@ -1,0 +1,69 @@
+"""Shared experiment plumbing: seed-averaged runs and table printing."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.scale import SCALES, Scale
+from repro.experiments.scenarios import ScenarioConfig, ScenarioResult, run_scenario
+
+
+def resolve_scale(scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    return SCALES[scale]
+
+
+def run_averaged(
+    config: ScenarioConfig,
+    seeds: Sequence[int] = (1,),
+    metrics: Optional[Callable[[ScenarioResult], Dict[str, float]]] = None,
+) -> Dict[str, float]:
+    """Run ``config`` once per seed; return mean (and std as ``k_std``)
+    of every metric. The paper averages five seeded runs."""
+    metrics = metrics or (lambda res: res.summary_row())
+    samples: List[Dict[str, float]] = []
+    for seed in seeds:
+        result = run_scenario(replace(config, seed=seed))
+        samples.append(metrics(result))
+    row: Dict[str, float] = {}
+    for key in samples[0]:
+        values = [s[key] for s in samples]
+        row[key] = statistics.fmean(values)
+        if len(values) > 1:
+            row[key + "_std"] = statistics.stdev(values)
+    return row
+
+
+def format_table(rows: Iterable[Dict], columns: Sequence[str], title: str = "") -> str:
+    """Render rows as a fixed-width text table."""
+    rows = list(rows)
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = str(value)
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append("  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[Dict], columns: Sequence[str], title: str = "") -> None:
+    print(format_table(rows, columns, title))
+    print()

@@ -1,0 +1,50 @@
+"""Figure 7 — timeouts per 1k flows, PAUSE frames per 1k flows and the
+average fraction of time links are paused.
+
+The paper's takeaways: TLT virtually eliminates timeouts (where the
+200 µs timer multiplies them and TLP leaves half); and under PFC, TLT's
+proactive red drops cut both the number of PAUSE frames and the total
+paused time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import print_table, resolve_scale, run_averaged
+from repro.experiments.scenarios import ScenarioConfig
+from repro.sim.units import MICROS
+
+COLUMNS = ["transport", "scheme", "timeouts_per_1k", "pause_per_1k",
+           "pause_fraction", "important_loss_rate"]
+
+
+def run(scale="small", seeds: Sequence[int] = (1,), transports=("dctcp", "tcp")) -> List[Dict]:
+    scale = resolve_scale(scale)
+    rows: List[Dict] = []
+    for transport in transports:
+        base = ScenarioConfig(transport=transport, scale=scale)
+        variants = {
+            "baseline": base,  # timeout panel (a)
+            "tlp": replace(base, tlp=True),
+            "rto200us": replace(base, rto_min_ns=200 * MICROS),
+            "tlt": replace(base, tlt=True),
+            "pfc": replace(base, pfc=True),  # pause panels (b), (c)
+            "tlt+pfc": replace(base, tlt=True, pfc=True),
+        }
+        for name, config in variants.items():
+            row = run_averaged(config, seeds)
+            row["transport"] = transport
+            row["scheme"] = name
+            rows.append(row)
+    return rows
+
+
+def main(scale="small") -> None:
+    print_table(run(scale), COLUMNS,
+                "Figure 7: timeouts, PAUSE frames and paused time per scheme")
+
+
+if __name__ == "__main__":
+    main()

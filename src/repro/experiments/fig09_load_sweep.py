@@ -1,0 +1,46 @@
+"""Figure 9 — sensitivity to network load (10-60%), HPCC+PFC and
+DCTCP+PFC with and without TLT.
+
+Transports that don't cut their rate on loss (HPCC) benefit from TLT at
+every load; loss-reacting transports (DCTCP) benefit until ~50% load,
+after which retransmission penalties outweigh the HoL-blocking savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import print_table, resolve_scale, run_averaged
+from repro.experiments.scenarios import ScenarioConfig
+
+DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+COLUMNS = ["transport", "tlt", "load", "fg_p99_ms", "fg_p999_ms", "bg_avg_ms",
+           "pause_per_1k"]
+
+
+def run(scale="small", seeds: Sequence[int] = (1,),
+        loads: Sequence[float] = DEFAULT_LOADS,
+        transports=("hpcc", "dctcp")) -> List[Dict]:
+    scale = resolve_scale(scale)
+    rows: List[Dict] = []
+    for transport in transports:
+        for tlt in (False, True):
+            base = ScenarioConfig(transport=transport, tlt=tlt, pfc=True, scale=scale)
+            for load in loads:
+                row = run_averaged(replace(base, load=load), seeds)
+                row["transport"] = transport
+                row["tlt"] = tlt
+                row["load"] = load
+                rows.append(row)
+    return rows
+
+
+def main(scale="small") -> None:
+    print_table(run(scale), COLUMNS,
+                "Figure 9: FCT vs network load (PFC on, with/without TLT)")
+
+
+if __name__ == "__main__":
+    main()

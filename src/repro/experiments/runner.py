@@ -1,0 +1,87 @@
+"""CLI: regenerate any figure/table of the paper.
+
+Usage::
+
+    tlt-experiment list
+    tlt-experiment fig05 --scale small
+    tlt-experiment all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Dict
+
+EXPERIMENTS: Dict[str, str] = {
+    "fig01": "repro.experiments.fig01_rto_cdf",
+    "fig02": "repro.experiments.fig02_fixed_rto",
+    "fig05": "repro.experiments.fig05_tcp_family",
+    "fig06": "repro.experiments.fig06_roce_family",
+    "fig07": "repro.experiments.fig07_timeouts_pauses",
+    "fig08": "repro.experiments.fig08_threshold_sweep",
+    "fig09": "repro.experiments.fig09_load_sweep",
+    "fig10": "repro.experiments.fig10_fg_share",
+    "fig11": "repro.experiments.fig11_queue_behavior",
+    "fig12": "repro.experiments.fig12_redis_incast",
+    "fig13": "repro.experiments.fig13_mixed_traffic",
+    "fig14": "repro.experiments.fig14_incast_microbench",
+    "fig15": "repro.experiments.fig15_workloads",
+    "fig16": "repro.experiments.fig16_delivery_cdf",
+    "fig17": "repro.experiments.fig17_clocking_ablation",
+    "fig18": "repro.experiments.fig18_incast_degree",
+    "table1": "repro.experiments.table1_important_loss",
+    # Extensions beyond the paper's evaluation section.
+    "ext-incremental": "repro.experiments.ext_incremental",
+    "ext-periodic-n": "repro.experiments.ext_periodic_n",
+    "ext-corruption": "repro.experiments.ext_corruption",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tlt-experiment",
+        description="Regenerate the paper's evaluation figures/tables.",
+    )
+    parser.add_argument("experiment", help="experiment id (e.g. fig05), 'all' or 'list'")
+    parser.add_argument("--scale", default="small",
+                        help="tiny | small | medium | paper (default: small)")
+    parser.add_argument("--csv", default=None, metavar="DIR",
+                        help="also write the result rows as CSV files into DIR")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, module in EXPERIMENTS.items():
+            print(f"{name:8s} {module}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    for name in names:
+        module = importlib.import_module(EXPERIMENTS[name])
+        started = time.time()
+        if args.csv:
+            from repro.experiments.export import rows_to_csv
+
+            result = module.run(scale=args.scale)
+            if isinstance(result, dict):
+                for part, rows in result.items():
+                    path = rows_to_csv(rows, f"{args.csv}/{name}_{part}.csv")
+                    print(f"wrote {path}")
+            else:
+                path = rows_to_csv(result, f"{args.csv}/{name}.csv")
+                print(f"wrote {path}")
+        else:
+            module.main(scale=args.scale)
+        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,302 @@
+"""Build and run one simulation scenario (§7.1 settings).
+
+A :class:`ScenarioConfig` captures everything a run needs — transport,
+TLT/PFC switches, thresholds, workload mix, scale, seed — and
+:func:`run_scenario` assembles the network, schedules traffic, runs the
+engine and returns a :class:`ScenarioResult`.
+
+Paper defaults encoded here:
+
+- 40 Gbps links; 10 µs per-hop latency for the TCP family, 1 µs for the
+  RoCE family (so base RTT is 80 µs / 8 µs and BDP 400 kB / 40 kB);
+- per-switch shared buffer proportional to ports (375 kB/port — the
+  4.5 MB / 12 ports of the paper's Trident II model), dynamic threshold
+  α = 1;
+- color-aware dropping threshold K: 400 kB (TCP family) / 200 kB (RoCE);
+- DCTCP step marking at 200 kB; DCQCN RED marking 5 kB/200 kB/1%;
+- background flows: Poisson over an empirical CDF at 40% load;
+  foreground: synchronized incasts of 8 kB flows, 5% of volume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.core.config import TltConfig
+from repro.net.topology import Network, TopologyParams, dumbbell, leaf_spine, star
+from repro.sim.units import GBPS, KB, MB, MICROS, MILLIS
+from repro.switchsim.ecn import RedEcn, StepEcn
+from repro.switchsim.pfc import PfcConfig
+from repro.switchsim.switch import SwitchConfig
+from repro.transport.base import FlowSpec, TransportConfig
+from repro.transport.registry import create_flow
+from repro.experiments.scale import SCALES, SMALL, Scale
+from repro.workload.background import BackgroundTraffic
+from repro.workload.distributions import DISTRIBUTIONS
+from repro.workload.incast import IncastTraffic
+
+#: Transports built on the TCP byte-stream family.
+TCP_FAMILY = frozenset({"tcp", "dctcp"})
+#: Transports built on the RoCE PSN family.
+ROCE_FAMILY = frozenset({"dcqcn", "dcqcn-sack", "irn", "hpcc"})
+
+#: Per-port share of shared buffer (4.5 MB / 12 ports in the paper).
+BUFFER_PER_PORT = 375 * KB
+
+
+@dataclass
+class ScenarioConfig:
+    """One simulation run's configuration."""
+
+    transport: str = "dctcp"
+    tlt: bool = False
+    tlt_config: TltConfig = field(default_factory=TltConfig)
+    pfc: bool = False
+
+    # Topology.
+    topology: str = "leaf_spine"  # "leaf_spine" | "star" | "dumbbell"
+    scale: Scale = SMALL
+    link_rate_bps: int = 40 * GBPS
+    link_delay_ns: Optional[int] = None  # default: 10 us TCP / 1 us RoCE
+
+    # Switch.
+    buffer_per_port: int = BUFFER_PER_PORT
+    color_threshold_bytes: Optional[int] = None  # default by family when tlt
+    alpha: float = 1.0
+    ecn_k_bytes: int = 200 * KB  # DCTCP step threshold
+    dcqcn_kmin: int = 5 * KB
+    dcqcn_kmax: int = 200 * KB
+    dcqcn_pmax: float = 0.01
+
+    # Transport.
+    rto_min_ns: int = 4 * MILLIS
+    fixed_rto_ns: Optional[int] = None
+    tlp: bool = False
+    transport_overrides: Dict = field(default_factory=dict)
+
+    # Workload.
+    workload: str = "web_search"
+    load: float = 0.4
+    fg_share: float = 0.05
+    incast_flow_size: int = 8 * KB
+    bg_flows: Optional[int] = None  # default: scale.bg_flows
+    incast_events: Optional[int] = None
+    incast_flows_per_sender: Optional[int] = None
+    enable_background: bool = True
+    enable_incast: bool = True
+
+    # Run control.
+    seed: int = 1
+    drain_ns: int = 100 * MILLIS
+    hard_cap_ns: Optional[int] = None
+    queue_sample_interval_ns: int = 20 * MICROS
+
+    # -- derived ----------------------------------------------------------------
+
+    @property
+    def family(self) -> str:
+        if self.transport in TCP_FAMILY:
+            return "tcp"
+        if self.transport in ROCE_FAMILY:
+            return "roce"
+        raise ValueError(f"unknown transport {self.transport!r}")
+
+    @property
+    def resolved_link_delay_ns(self) -> int:
+        if self.link_delay_ns is not None:
+            return self.link_delay_ns
+        return 10 * MICROS if self.family == "tcp" else 1 * MICROS
+
+    @property
+    def base_rtt_ns(self) -> int:
+        # Four hops each way in the leaf-spine (host-ToR-spine-ToR-host).
+        hops = 4 if self.topology == "leaf_spine" else 2
+        return 2 * hops * self.resolved_link_delay_ns
+
+    @property
+    def bdp_bytes(self) -> int:
+        return self.link_rate_bps * self.base_rtt_ns // 8 // 1_000_000_000
+
+    @property
+    def resolved_color_threshold(self) -> Optional[int]:
+        if not self.tlt:
+            return None
+        if self.color_threshold_bytes is not None:
+            return self.color_threshold_bytes
+        return 400 * KB if self.family == "tcp" else 200 * KB
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements from one run."""
+
+    config: ScenarioConfig
+    net: Network
+    duration_ns: int
+    queue_samples: list
+
+    @property
+    def stats(self):
+        return self.net.stats
+
+    def fct_summary(self, group: str = "fg") -> Dict[str, float]:
+        return self.stats.fct_summary(group)
+
+    def fg_p99_ms(self) -> float:
+        return self.fct_summary("fg")["p99"] / 1e6
+
+    def fg_p999_ms(self) -> float:
+        return self.fct_summary("fg")["p999"] / 1e6
+
+    def bg_avg_ms(self) -> float:
+        return self.fct_summary("bg")["mean"] / 1e6
+
+    def pause_fraction(self) -> float:
+        return self.net.avg_pause_fraction(self.duration_ns)
+
+    def summary_row(self) -> Dict[str, float]:
+        stats = self.stats
+        return {
+            "fg_p99_ms": self.fg_p99_ms(),
+            "fg_p999_ms": self.fg_p999_ms(),
+            "bg_avg_ms": self.bg_avg_ms(),
+            "timeouts_per_1k": stats.timeouts_per_1k_flows(),
+            "pause_per_1k": stats.pause_frames_per_1k_flows(),
+            "pause_fraction": self.pause_fraction(),
+            "important_loss_rate": stats.important_loss_rate(),
+            "important_fraction": stats.important_fraction_bytes(),
+            "incomplete": float(stats.incomplete_flows()),
+        }
+
+
+def build_network(config: ScenarioConfig) -> Network:
+    """Construct the network for a scenario (no traffic yet)."""
+    scale = config.scale
+    ports = (
+        scale.hosts_per_tor + scale.num_spines
+        if config.topology == "leaf_spine"
+        else scale.num_hosts
+    )
+    ecn = None
+    if config.transport == "dctcp":
+        ecn = StepEcn(config.ecn_k_bytes)
+    elif config.transport in ("dcqcn", "dcqcn-sack", "irn"):
+        ecn = RedEcn(
+            config.dcqcn_kmin,
+            config.dcqcn_kmax,
+            config.dcqcn_pmax,
+            random.Random(config.seed * 7919 + 13),
+        )
+    switch_config = SwitchConfig(
+        buffer_bytes=ports * config.buffer_per_port,
+        alpha=config.alpha,
+        color_threshold_bytes=config.resolved_color_threshold,
+        ecn=ecn,
+        pfc=PfcConfig(enabled=config.pfc),
+        int_enabled=(config.transport == "hpcc"),
+    )
+    params = TopologyParams(
+        link_rate_bps=config.link_rate_bps,
+        host_link_delay_ns=config.resolved_link_delay_ns,
+        fabric_link_delay_ns=config.resolved_link_delay_ns,
+        switch_config=switch_config,
+    )
+    if config.topology == "leaf_spine":
+        return leaf_spine(scale.num_spines, scale.num_tors, scale.hosts_per_tor, params, config.seed)
+    if config.topology == "star":
+        return star(scale.num_hosts, params, config.seed)
+    if config.topology == "dumbbell":
+        return dumbbell(scale.num_hosts - 2, 2, params, config.seed)
+    raise ValueError(f"unknown topology {config.topology!r}")
+
+
+def make_transport_config(config: ScenarioConfig) -> TransportConfig:
+    tconfig = TransportConfig(
+        rto_min_ns=config.rto_min_ns,
+        fixed_rto_ns=config.fixed_rto_ns,
+        tlp_enabled=config.tlp,
+        base_rtt_ns=config.base_rtt_ns,
+        link_rate_bps=config.link_rate_bps,
+    )
+    if config.transport_overrides:
+        tconfig = replace(tconfig, **config.transport_overrides)
+    return tconfig
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, run and measure one scenario."""
+    net = build_network(config)
+    tconfig = make_transport_config(config)
+    tlt_cfg = config.tlt_config if config.tlt else None
+
+    def create(spec: FlowSpec) -> None:
+        create_flow(config.transport, net, spec, tconfig, tlt_cfg)
+
+    end_of_traffic = 0
+    if config.enable_background:
+        background = BackgroundTraffic(
+            net,
+            DISTRIBUTIONS[config.workload],
+            create,
+            load=config.load,
+            num_flows=config.bg_flows if config.bg_flows is not None else config.scale.bg_flows,
+            link_rate_bps=config.link_rate_bps,
+        )
+        background.schedule()
+        end_of_traffic = max(end_of_traffic, background.end_of_arrivals_ns)
+
+    if config.enable_incast:
+        scale = config.scale
+        events = (
+            config.incast_events if config.incast_events is not None else scale.incast_events
+        )
+        per_sender = (
+            config.incast_flows_per_sender
+            if config.incast_flows_per_sender is not None
+            else scale.incast_flows_per_sender
+        )
+        interval = IncastTraffic.interval_for_share(
+            config.fg_share,
+            config.load,
+            scale.num_hosts,
+            config.link_rate_bps,
+            config.incast_flow_size,
+            per_sender,
+            scale.num_hosts - 1,
+        )
+        incast = IncastTraffic(
+            net,
+            create,
+            flow_size=config.incast_flow_size,
+            flows_per_sender=per_sender,
+            num_events=events,
+            interval_ns=interval,
+            start_ns=200 * MICROS,
+        )
+        incast.schedule()
+        if incast.specs:
+            end_of_traffic = max(end_of_traffic, incast.specs[-1].start_ns)
+
+    horizon = end_of_traffic + config.drain_ns
+
+    # Periodic queue-length sampling (Fig 11). Runs until the traffic
+    # window closes (plus while stragglers remain).
+    queue_samples: list = []
+
+    def sample_queues() -> None:
+        for switch in net.switches:
+            for queue in switch.queues:
+                if queue.occupancy:
+                    queue_samples.append(queue.occupancy)
+        if net.engine.now < end_of_traffic or net.stats.incomplete_flows():
+            net.engine.schedule(config.queue_sample_interval_ns, sample_queues)
+
+    net.engine.schedule(config.queue_sample_interval_ns, sample_queues)
+    hard_cap = config.hard_cap_ns or (horizon + 10 * config.drain_ns)
+    net.engine.run(until=horizon)
+    while net.stats.incomplete_flows() and net.engine.now < hard_cap and net.engine.pending:
+        net.engine.run(until=min(net.engine.now + 50 * MILLIS, hard_cap))
+
+    return ScenarioResult(config, net, net.engine.now, queue_samples)

@@ -1,0 +1,60 @@
+"""Shared setup for the emulated-testbed experiments (§7.3-§7.4).
+
+The paper's testbed: 9-10 servers on a 40 GbE Tomahawk ToR (16 MB
+shared buffer, dynamic allocation giving a single busy port up to
+~1.8 MB), color-aware dropping threshold 270 kB (≈ testbed BDP), DCTCP
+ECN marking at 200 kB. We reproduce that as a star topology whose
+per-port buffer share (375 kB x 10 ports, α=1) yields the same ~1.8 MB
+single-port ceiling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.config import TltConfig
+from repro.net.topology import Network, TopologyParams, star
+from repro.sim.units import GBPS, KB, MICROS, MILLIS
+from repro.switchsim.ecn import StepEcn
+from repro.switchsim.pfc import PfcConfig
+from repro.switchsim.switch import SwitchConfig
+from repro.transport.base import TransportConfig
+
+#: Testbed parameters (§6).
+TESTBED_COLOR_THRESHOLD = 270 * KB
+TESTBED_ECN_K = 200 * KB
+TESTBED_LINK_DELAY_NS = 2 * MICROS  # ~8 us base RTT through one switch
+
+
+def build_testbed(
+    num_hosts: int = 10,
+    transport: str = "dctcp",
+    tlt: bool = False,
+    pfc: bool = False,
+    color_threshold: int = TESTBED_COLOR_THRESHOLD,
+    seed: int = 1,
+) -> Network:
+    """A star 'testbed' with paper switch settings."""
+    config = SwitchConfig(
+        buffer_bytes=num_hosts * 375 * KB,
+        color_threshold_bytes=color_threshold if tlt else None,
+        ecn=StepEcn(TESTBED_ECN_K) if transport == "dctcp" else None,
+        pfc=PfcConfig(enabled=pfc),
+        int_enabled=(transport == "hpcc"),
+    )
+    params = TopologyParams(
+        link_rate_bps=40 * GBPS,
+        host_link_delay_ns=TESTBED_LINK_DELAY_NS,
+        fabric_link_delay_ns=TESTBED_LINK_DELAY_NS,
+        switch_config=config,
+    )
+    return star(num_hosts=num_hosts, params=params, seed=seed)
+
+
+def testbed_transport_config(rto_min_ns: int = 4 * MILLIS) -> TransportConfig:
+    return TransportConfig(base_rtt_ns=4 * TESTBED_LINK_DELAY_NS, rto_min_ns=rto_min_ns)
+
+
+def maybe_tlt(tlt: bool) -> Optional[TltConfig]:
+    return TltConfig() if tlt else None

@@ -1,0 +1,33 @@
+"""Network substrate: packets, links, hosts, routing and topologies."""
+
+from repro.net.packet import (
+    ACK_BYTES,
+    CNP_BYTES,
+    Color,
+    HEADER_BYTES,
+    Packet,
+    PacketKind,
+    TltMark,
+)
+from repro.net.link import Port, connect
+from repro.net.node import Device, Host, HostNic
+
+# NOTE: repro.net.topology is intentionally not re-exported here — it
+# depends on repro.switchsim, whose modules import repro.net.packet;
+# re-exporting it would create an import cycle. Import it directly:
+#   from repro.net.topology import leaf_spine, star, dumbbell
+
+__all__ = [
+    "ACK_BYTES",
+    "CNP_BYTES",
+    "Color",
+    "HEADER_BYTES",
+    "Packet",
+    "PacketKind",
+    "TltMark",
+    "Port",
+    "connect",
+    "Device",
+    "Host",
+    "HostNic",
+]

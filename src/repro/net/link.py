@@ -1,0 +1,129 @@
+"""Full-duplex links modeled as a pair of unidirectional ports.
+
+A :class:`Port` pulls packets from its owning device (host NIC or
+switch egress queue) whenever it is idle and not paused by PFC, fully
+serializes each packet at the link rate, then delivers it to the peer
+device after the propagation delay (store-and-forward).
+
+PFC PAUSE/RESUME frames are delivered out-of-band: they are tiny, are
+sent at the highest priority on real hardware, and modeling them as
+instantaneously serialized control messages (propagation delay only) is
+the standard simulator simplification.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.units import tx_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Device
+    from repro.net.packet import Packet
+
+
+class Port:
+    """One direction of a link, owned by the transmitting device."""
+
+    __slots__ = (
+        "engine",
+        "owner",
+        "port_no",
+        "peer",
+        "rate_bps",
+        "delay_ns",
+        "busy",
+        "paused",
+        "tx_bytes",
+        "tx_packets",
+        "pause_frames_rx",
+        "paused_ns",
+        "_pause_started",
+        "_pause_timer",
+    )
+
+    def __init__(self, engine: Engine, owner: "Device", port_no: int, rate_bps: int, delay_ns: int):
+        self.engine = engine
+        self.owner = owner
+        self.port_no = port_no
+        self.peer: Optional["Port"] = None
+        self.rate_bps = rate_bps
+        self.delay_ns = delay_ns
+        self.busy = False
+        self.paused = False
+        self.tx_bytes = 0
+        self.tx_packets = 0
+        # PFC bookkeeping (this port being the *paused* side).
+        self.pause_frames_rx = 0
+        self.paused_ns = 0
+        self._pause_started = 0
+        self._pause_timer = None
+
+    # -- transmission ----------------------------------------------------------
+
+    def kick(self) -> None:
+        """Try to start transmitting the owner's next packet."""
+        if self.busy or self.paused:
+            return
+        packet = self.owner.poll(self)
+        if packet is None:
+            return
+        self.busy = True
+        self.tx_bytes += packet.size
+        self.tx_packets += 1
+        self.engine.schedule(tx_time_ns(packet.size, self.rate_bps), self._tx_done, packet)
+
+    def _tx_done(self, packet: "Packet") -> None:
+        peer = self.peer
+        if peer is not None:
+            self.engine.schedule(self.delay_ns, peer.owner.receive, packet, peer)
+        self.busy = False
+        self.kick()
+
+    # -- PFC -------------------------------------------------------------------
+
+    def send_pause(self, duration_ns: int) -> None:
+        """Send a PFC PAUSE (or RESUME when duration is 0) to the peer."""
+        peer = self.peer
+        if peer is None:
+            return
+        self.engine.schedule(self.delay_ns, peer.owner.receive_pause, duration_ns, peer)
+
+    def apply_pause(self, duration_ns: int) -> None:
+        """React to a received PAUSE frame on this (transmitting) port."""
+        self.pause_frames_rx += 1
+        now = self.engine.now
+        if duration_ns <= 0:
+            self._resume()
+            return
+        if not self.paused:
+            self.paused = True
+            self._pause_started = now
+        if self._pause_timer is not None:
+            self._pause_timer.cancel()
+        self._pause_timer = self.engine.schedule(duration_ns, self._pause_expired)
+
+    def _pause_expired(self) -> None:
+        self._pause_timer = None
+        self._resume()
+
+    def _resume(self) -> None:
+        if self._pause_timer is not None:
+            self._pause_timer.cancel()
+            self._pause_timer = None
+        if self.paused:
+            self.paused = False
+            self.paused_ns += self.engine.now - self._pause_started
+            self.kick()
+
+    # -- misc --------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Port {self.owner}:{self.port_no}>"
+
+
+def connect(a: Port, b: Port) -> None:
+    """Wire two ports together as a full-duplex link."""
+    a.peer = b
+    b.peer = a

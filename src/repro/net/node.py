@@ -1,0 +1,113 @@
+"""Devices: the common device interface, hosts and host NICs."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.net.link import Port
+from repro.net.packet import Packet
+from repro.sim.engine import Engine
+
+
+class Device:
+    """Anything with ports: a host or a switch.
+
+    Subclasses implement :meth:`receive` (packet arrived on ``in_port``)
+    and :meth:`poll` (the port asks for the next packet to serialize).
+    """
+
+    def __init__(self, engine: Engine, name: str):
+        self.engine = engine
+        self.name = name
+        self.ports: list = []
+
+    def add_port(self, rate_bps: int, delay_ns: int) -> Port:
+        port = Port(self.engine, self, len(self.ports), rate_bps, delay_ns)
+        self.ports.append(port)
+        return port
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        raise NotImplementedError
+
+    def poll(self, port: Port) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def receive_pause(self, duration_ns: int, in_port: Port) -> None:
+        """A PFC PAUSE arrived: stop transmitting out of ``in_port``."""
+        in_port.apply_pause(duration_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.name
+
+
+class HostNic:
+    """The host's transmit queue.
+
+    Transports hand fully formed packets to the NIC; the attached port
+    drains the queue at line rate. The queue is unbounded (host memory),
+    and it is the entity PFC pauses when a ToR pushes back on a host.
+    """
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        self.queue: Deque[Packet] = deque()
+
+    def enqueue(self, packet: Packet) -> None:
+        self.queue.append(packet)
+        self.host.port.kick()
+
+    def pending_bytes(self) -> int:
+        return sum(p.size for p in self.queue)
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+
+class Host(Device):
+    """An end host: one NIC port plus a demux table of transport endpoints."""
+
+    def __init__(self, engine: Engine, host_id: int, name: Optional[str] = None):
+        super().__init__(engine, name or f"host{host_id}")
+        self.host_id = host_id
+        self.nic = HostNic(self)
+        self.endpoints: Dict[int, "SupportsOnPacket"] = {}
+        self.port: Optional[Port] = None  # set by topology builder
+
+    def attach_port(self, rate_bps: int, delay_ns: int) -> Port:
+        self.port = self.add_port(rate_bps, delay_ns)
+        return self.port
+
+    # -- device interface ------------------------------------------------------
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        endpoint = self.endpoints.get(packet.flow_id)
+        if endpoint is not None:
+            endpoint.on_packet(packet)
+
+    def poll(self, port: Port) -> Optional[Packet]:
+        if self.nic.queue:
+            return self.nic.queue.popleft()
+        return None
+
+    # -- transport helpers --------------------------------------------------------
+
+    def register_endpoint(self, flow_id: int, endpoint: "SupportsOnPacket") -> None:
+        self.endpoints[flow_id] = endpoint
+
+    def unregister_endpoint(self, flow_id: int) -> None:
+        self.endpoints.pop(flow_id, None)
+
+    def send(self, packet: Packet) -> None:
+        """Queue a packet on the NIC for transmission."""
+        self.nic.enqueue(packet)
+
+
+class SupportsOnPacket:
+    """Protocol for transport endpoints registered at a host."""
+
+    def on_packet(self, packet: Packet) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+Callback = Callable[..., None]

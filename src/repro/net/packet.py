@@ -1,0 +1,155 @@
+"""Packets and on-wire metadata.
+
+A single packet class serves every transport in the suite. TLT marks
+(``TltMark``) are transport-layer message types (§5 of the paper); the
+network-layer *color* is what switches act on, derived from the mark by
+the ACL in :mod:`repro.core.marks` (the analogue of DSCP-to-color
+mapping in the testbed).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+#: Link/IP/transport header overhead charged per packet, bytes.
+HEADER_BYTES = 48
+#: Wire size of a pure acknowledgment (header + options).
+ACK_BYTES = 60
+#: Wire size of a DCQCN Congestion Notification Packet.
+CNP_BYTES = 60
+
+
+class PacketKind(IntEnum):
+    """What a packet is, at the transport level."""
+
+    DATA = 0
+    ACK = 1
+    NACK = 2  # RoCE out-of-order notification (go-back-N / selective)
+    CNP = 3  # DCQCN congestion notification packet
+    SYN = 4  # connection setup (optional handshake modeling)
+    SYN_ACK = 5
+    FIN = 6  # connection teardown
+
+
+class TltMark(IntEnum):
+    """TLT transport-layer message types (§5.1, Algorithm 1)."""
+
+    NONE = 0
+    IMPORTANT_DATA = 1
+    IMPORTANT_ECHO = 2
+    IMPORTANT_CLOCK_DATA = 3
+    IMPORTANT_CLOCK_ECHO = 4
+    CONTROL = 5  # SYN/FIN/pure ACK/NACK/CNP — always important
+
+
+class Color(IntEnum):
+    """Switch colors used by color-aware dropping (§4.1).
+
+    Commodity chips support three colors; TLT uses two: green for
+    important packets, red for unimportant ones.
+    """
+
+    GREEN = 0
+    RED = 1
+
+
+class IntRecord:
+    """One hop's in-band network telemetry record (HPCC)."""
+
+    __slots__ = ("qlen", "tx_bytes", "ts", "rate_bps")
+
+    def __init__(self, qlen: int, tx_bytes: int, ts: int, rate_bps: int):
+        self.qlen = qlen
+        self.tx_bytes = tx_bytes
+        self.ts = ts
+        self.rate_bps = rate_bps
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"IntRecord(qlen={self.qlen}, tx={self.tx_bytes}, ts={self.ts})"
+
+
+class Packet:
+    """A simulated packet.
+
+    ``seq`` is a byte offset for the TCP family and a packet sequence
+    number (PSN) for the RoCE family; ``payload`` is the number of data
+    bytes carried. ``size`` (the wire size used for buffer accounting
+    and serialization) is ``payload + HEADER_BYTES`` for data packets
+    and a fixed small size for control packets.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "kind",
+        "seq",
+        "payload",
+        "size",
+        "ack",
+        "sack",
+        "tclass",
+        "ecn_capable",
+        "ce",
+        "ecn_echo",
+        "mark",
+        "color",
+        "is_retx",
+        "ts_sent",
+        "ts_echo",
+        "int_records",
+        "int_echo",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        kind: PacketKind,
+        seq: int = 0,
+        payload: int = 0,
+        ack: int = 0,
+        size: Optional[int] = None,
+    ):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.seq = seq
+        self.payload = payload
+        if size is not None:
+            self.size = size
+        elif kind == PacketKind.DATA:
+            self.size = payload + HEADER_BYTES
+        elif kind == PacketKind.CNP:
+            self.size = CNP_BYTES
+        else:
+            self.size = ACK_BYTES
+        self.ack = ack
+        self.tclass = 0  # traffic class: selects the egress queue
+        self.sack: Tuple[Tuple[int, int], ...] = ()
+        self.ecn_capable = False
+        self.ce = False
+        self.ecn_echo = False
+        self.mark = TltMark.NONE
+        self.color = Color.GREEN
+        self.is_retx = False
+        self.ts_sent = 0
+        self.ts_echo = 0
+        self.int_records: Optional[List[IntRecord]] = None
+        self.int_echo: Optional[List[IntRecord]] = None
+
+    def add_int_record(self, record: IntRecord) -> None:
+        """Append an INT record (used by HPCC-enabled switches)."""
+        if self.int_records is None:
+            self.int_records = []
+        self.int_records.append(record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(flow={self.flow_id}, {self.kind.name}, seq={self.seq}, "
+            f"pl={self.payload}, ack={self.ack}, mark={self.mark.name}, "
+            f"color={self.color.name})"
+        )

@@ -1,0 +1,46 @@
+"""ECMP routing helpers.
+
+Production datacenters hash the 5-tuple so all packets of a flow take
+one path (the paper's §5 assumption that reordering is rare). We hash
+``(flow_id, switch_id)`` with a stable CRC so paths are deterministic
+across runs and independent between switches.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Sequence, Tuple
+
+
+def ecmp_index(flow_id: int, switch_id: int, fanout: int) -> int:
+    """Deterministic ECMP next-hop index for a flow at a switch."""
+    if fanout <= 0:
+        raise ValueError("fanout must be positive")
+    if fanout == 1:
+        return 0
+    key = (flow_id * 2654435761 + switch_id * 40503) & 0xFFFFFFFF
+    return zlib.crc32(key.to_bytes(4, "little")) % fanout
+
+
+class Fib:
+    """Forwarding table: destination host id -> candidate egress ports."""
+
+    def __init__(self, switch_id: int):
+        self.switch_id = switch_id
+        self._routes: Dict[int, Tuple[int, ...]] = {}
+
+    def add_route(self, dst_host: int, ports: Sequence[int]) -> None:
+        if not ports:
+            raise ValueError("route needs at least one port")
+        self._routes[dst_host] = tuple(ports)
+
+    def lookup(self, dst_host: int, flow_id: int) -> int:
+        """Egress port number for ``dst_host``, ECMP-selected by flow."""
+        ports = self._routes[dst_host]
+        return ports[ecmp_index(flow_id, self.switch_id, len(ports))]
+
+    def has_route(self, dst_host: int) -> bool:
+        return dst_host in self._routes
+
+    def candidates(self, dst_host: int) -> Tuple[int, ...]:
+        return self._routes[dst_host]

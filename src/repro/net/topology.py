@@ -1,0 +1,208 @@
+"""Topology builders: leaf–spine, single-switch star, and dumbbell.
+
+Every builder returns a :class:`Network` — the container for the
+engine, stats collector, hosts and switches of one simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.link import connect
+from repro.net.node import Host
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.units import GBPS, MICROS
+from repro.stats.collector import NetStats
+from repro.switchsim.switch import Switch, SwitchConfig
+
+
+@dataclass
+class TopologyParams:
+    """Shared knobs for the builders (paper defaults)."""
+
+    link_rate_bps: int = 40 * GBPS
+    host_link_delay_ns: int = 10 * MICROS  # 1 us for the RoCE experiments
+    fabric_link_delay_ns: int = 10 * MICROS
+    switch_config: SwitchConfig = field(default_factory=SwitchConfig)
+
+
+class Network:
+    """One simulation run's network: engine + stats + devices."""
+
+    def __init__(self, engine: Engine, stats: NetStats, rng: RngRegistry):
+        self.engine = engine
+        self.stats = stats
+        self.rng = rng
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        self._next_flow_id = 1
+
+    def new_flow_id(self) -> int:
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        return flow_id
+
+    def host(self, host_id: int) -> Host:
+        return self.hosts[host_id]
+
+    # -- aggregate statistics helpers ----------------------------------------
+
+    def total_pause_frames(self) -> int:
+        return self.stats.pause_frames
+
+    def total_paused_ns(self) -> int:
+        """Sum of time ports spent paused across all devices."""
+        total = 0
+        for device in list(self.switches) + list(self.hosts):
+            for port in device.ports:
+                total += port.paused_ns
+                # Include a still-open pause interval.
+                if port.paused:
+                    total += self.engine.now - port._pause_started
+        return total
+
+    def link_count(self) -> int:
+        return sum(len(d.ports) for d in self.switches) // 1
+
+    def avg_pause_fraction(self, duration_ns: int) -> float:
+        """Average fraction of time a link was blocked by PAUSE."""
+        ports = [p for d in list(self.switches) + list(self.hosts) for p in d.ports]
+        if not ports or duration_ns <= 0:
+            return 0.0
+        return self.total_paused_ns() / (len(ports) * duration_ns)
+
+
+def _new_network(seed: int) -> Network:
+    return Network(Engine(), NetStats(), RngRegistry(seed))
+
+
+def leaf_spine(
+    num_spines: int = 2,
+    num_tors: int = 4,
+    hosts_per_tor: int = 4,
+    params: Optional[TopologyParams] = None,
+    seed: int = 1,
+) -> Network:
+    """Build a two-tier leaf–spine fabric.
+
+    The paper's simulation uses 4 spines x 12 ToRs x 8 hosts (96 hosts,
+    2:1 oversubscription); the defaults here are a scaled-down version
+    with the same per-link rates and delays.
+    """
+    params = params or TopologyParams()
+    net = _new_network(seed)
+    engine = net.engine
+
+    for tor_idx in range(num_tors):
+        for local in range(hosts_per_tor):
+            host = Host(engine, tor_idx * hosts_per_tor + local)
+            net.hosts.append(host)
+
+    tors = []
+    for tor_idx in range(num_tors):
+        tor = Switch(engine, tor_idx, params.switch_config, net.stats, name=f"tor{tor_idx}")
+        tors.append(tor)
+        net.switches.append(tor)
+    spines = []
+    for spine_idx in range(num_spines):
+        spine = Switch(
+            engine,
+            num_tors + spine_idx,
+            params.switch_config,
+            net.stats,
+            name=f"spine{spine_idx}",
+        )
+        spines.append(spine)
+        net.switches.append(spine)
+
+    # Host <-> ToR links.
+    for tor_idx, tor in enumerate(tors):
+        for local in range(hosts_per_tor):
+            host = net.hosts[tor_idx * hosts_per_tor + local]
+            hport = host.attach_port(params.link_rate_bps, params.host_link_delay_ns)
+            tport = tor.add_port(params.link_rate_bps, params.host_link_delay_ns)
+            connect(hport, tport)
+
+    # ToR <-> spine links (full bipartite mesh).
+    for tor in tors:
+        for spine in spines:
+            tport = tor.add_port(params.link_rate_bps, params.fabric_link_delay_ns)
+            sport = spine.add_port(params.link_rate_bps, params.fabric_link_delay_ns)
+            connect(tport, sport)
+
+    # FIBs.
+    for tor_idx, tor in enumerate(tors):
+        uplinks = list(range(hosts_per_tor, hosts_per_tor + num_spines))
+        for host in net.hosts:
+            if host.host_id // hosts_per_tor == tor_idx:
+                tor.fib.add_route(host.host_id, [host.host_id % hosts_per_tor])
+            else:
+                tor.fib.add_route(host.host_id, uplinks)
+        tor.finalize()
+    for spine in spines:
+        for host in net.hosts:
+            spine.fib.add_route(host.host_id, [host.host_id // hosts_per_tor])
+        spine.finalize()
+
+    return net
+
+
+def star(
+    num_hosts: int = 9,
+    params: Optional[TopologyParams] = None,
+    seed: int = 1,
+) -> Network:
+    """All hosts on one switch — the testbed microbenchmark topology."""
+    params = params or TopologyParams()
+    net = _new_network(seed)
+    switch = Switch(net.engine, 0, params.switch_config, net.stats, name="tor0")
+    net.switches.append(switch)
+    for host_id in range(num_hosts):
+        host = Host(net.engine, host_id)
+        net.hosts.append(host)
+        hport = host.attach_port(params.link_rate_bps, params.host_link_delay_ns)
+        sport = switch.add_port(params.link_rate_bps, params.host_link_delay_ns)
+        connect(hport, sport)
+        switch.fib.add_route(host_id, [host_id])
+    switch.finalize()
+    return net
+
+
+def dumbbell(
+    left_hosts: int = 7,
+    right_hosts: int = 2,
+    params: Optional[TopologyParams] = None,
+    seed: int = 1,
+) -> Network:
+    """Two switches joined by one inter-switch link (testbed §7.4)."""
+    params = params or TopologyParams()
+    net = _new_network(seed)
+    sw_left = Switch(net.engine, 0, params.switch_config, net.stats, name="swL")
+    sw_right = Switch(net.engine, 1, params.switch_config, net.stats, name="swR")
+    net.switches.extend([sw_left, sw_right])
+
+    for host_id in range(left_hosts + right_hosts):
+        host = Host(net.engine, host_id)
+        net.hosts.append(host)
+        switch = sw_left if host_id < left_hosts else sw_right
+        hport = host.attach_port(params.link_rate_bps, params.host_link_delay_ns)
+        sport = switch.add_port(params.link_rate_bps, params.host_link_delay_ns)
+        connect(hport, sport)
+
+    # Inter-switch trunk.
+    lport = sw_left.add_port(params.link_rate_bps, params.fabric_link_delay_ns)
+    rport = sw_right.add_port(params.link_rate_bps, params.fabric_link_delay_ns)
+    connect(lport, rport)
+
+    for host in net.hosts:
+        if host.host_id < left_hosts:
+            sw_left.fib.add_route(host.host_id, [host.host_id])
+            sw_right.fib.add_route(host.host_id, [right_hosts])
+        else:
+            sw_left.fib.add_route(host.host_id, [left_hosts])
+            sw_right.fib.add_route(host.host_id, [host.host_id - left_hosts])
+    sw_left.finalize()
+    sw_right.finalize()
+    return net

@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation engine.
+
+All simulated time is kept in integer nanoseconds so runs are exactly
+reproducible across platforms (no floating point drift in the clock).
+"""
+
+from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.units import (
+    GBPS,
+    KB,
+    MB,
+    MBPS,
+    MICROS,
+    MILLIS,
+    NS_PER_SEC,
+    SECONDS,
+    tx_time_ns,
+)
+
+__all__ = [
+    "Engine",
+    "Event",
+    "SimulationError",
+    "GBPS",
+    "KB",
+    "MB",
+    "MBPS",
+    "MICROS",
+    "MILLIS",
+    "NS_PER_SEC",
+    "SECONDS",
+    "tx_time_ns",
+]

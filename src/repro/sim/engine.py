@@ -1,0 +1,133 @@
+"""The discrete-event engine.
+
+A single binary heap orders events by ``(time, sequence)``. The sequence
+number breaks ties deterministically in scheduling order, which makes a
+whole simulation a pure function of its inputs and RNG seeds.
+
+Events are callbacks. Cancellation is done lazily (the event is flagged
+and skipped when popped) which keeps the heap operations O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Engine.schedule`.
+
+    Use :meth:`cancel` to revoke it; cancelled events are skipped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Revoke the event. Safe to call more than once or after firing."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} #{self.seq} {getattr(self.fn, '__qualname__', self.fn)}{state}>"
+
+
+class Engine:
+    """Discrete-event simulation engine with an integer-nanosecond clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = 0
+        self.now: int = 0
+        self._running = False
+        self._events_processed = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time`` ns."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` ns is reached, or
+        ``max_events`` events have been processed.
+
+        Returns the number of events processed by this call. The clock is
+        advanced to ``until`` if given and the queue drained earlier.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        processed = 0
+        queue = self._queue
+        try:
+            while queue:
+                event = queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.fn(*event.args)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not queue:
+            self.now = until
+        self._events_processed += processed
+        return processed
+
+    def step(self) -> bool:
+        """Process exactly one (non-cancelled) event. Returns False if idle."""
+        return self.run(max_events=1) == 1
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed over the engine's lifetime."""
+        return self._events_processed
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or None when idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

@@ -1,0 +1,32 @@
+"""Seeded random-number streams.
+
+Each subsystem (workload arrivals, flow sizes, ECMP tie-breaks, ...)
+draws from its own named stream derived from the experiment's master
+seed, so adding randomness to one subsystem never perturbs another.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a per-stream seed from a master seed and a stream name."""
+    return (master_seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFF
+
+
+class RngRegistry:
+    """Factory for named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, master_seed: int = 1):
+        self.master_seed = master_seed
+        self._streams: dict = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = rng
+        return rng

@@ -1,0 +1,45 @@
+"""Units and conversion helpers.
+
+Conventions used throughout the simulator:
+
+- **time** — integer nanoseconds (``int``).
+- **data sizes** — bytes. The paper quotes buffer/threshold sizes in
+  decimal units (e.g. BDP = 40 Gb/s x 80 us = 400 kB), so ``KB`` and
+  ``MB`` are decimal here.
+- **rates** — bits per second.
+"""
+
+# --- data sizes (decimal, matching the paper's arithmetic) -----------------
+KB = 1_000
+MB = 1_000_000
+
+# --- rates ------------------------------------------------------------------
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+# --- time -------------------------------------------------------------------
+NS_PER_SEC = 1_000_000_000
+MICROS = 1_000
+MILLIS = 1_000_000
+SECONDS = NS_PER_SEC
+
+
+def tx_time_ns(size_bytes: int, rate_bps: int) -> int:
+    """Serialization delay of ``size_bytes`` on a ``rate_bps`` link, in ns.
+
+    Rounds up so that back-to-back packets never overlap on the wire.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    bits = size_bytes * 8
+    return -(-bits * NS_PER_SEC // rate_bps)  # ceil division
+
+
+def bytes_per_ns(rate_bps: int) -> float:
+    """Link rate expressed as bytes per nanosecond."""
+    return rate_bps / 8 / NS_PER_SEC
+
+
+def bdp_bytes(rate_bps: int, rtt_ns: int) -> int:
+    """Bandwidth-delay product in bytes."""
+    return rate_bps * rtt_ns // 8 // NS_PER_SEC

@@ -1,0 +1,6 @@
+"""Measurement: flow records, counters and percentile helpers."""
+
+from repro.stats.collector import FlowRecord, NetStats
+from repro.stats.percentile import percentile, summarize
+
+__all__ = ["FlowRecord", "NetStats", "percentile", "summarize"]

@@ -1,0 +1,171 @@
+"""Run-wide measurement state shared by hosts and switches.
+
+One :class:`NetStats` instance is attached to a :class:`repro.net.topology.Network`;
+transports and switches increment it directly (cheap integer ops) and
+experiments read it after the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.stats.percentile import summarize
+
+
+class FlowRecord:
+    """Lifecycle record of one flow."""
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "size",
+        "start_ns",
+        "group",
+        "end_rx_ns",
+        "end_ack_ns",
+        "timeouts",
+        "retx_bytes",
+        "tx_bytes",
+        "final_rto_ns",
+        "final_srtt_ns",
+    )
+
+    def __init__(self, flow_id: int, src: int, dst: int, size: int, start_ns: int, group: str):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.start_ns = start_ns
+        self.group = group  # "fg" (foreground/incast) or "bg" (background)
+        self.end_rx_ns: Optional[int] = None  # receiver has every byte
+        self.end_ack_ns: Optional[int] = None  # sender saw everything acked
+        self.timeouts = 0
+        self.retx_bytes = 0
+        self.tx_bytes = 0
+        self.final_rto_ns: Optional[int] = None
+        self.final_srtt_ns: Optional[int] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.end_rx_ns is not None
+
+    @property
+    def fct_ns(self) -> Optional[int]:
+        """Flow completion time: flow start until the receiver has all bytes."""
+        if self.end_rx_ns is None:
+            return None
+        return self.end_rx_ns - self.start_ns
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FlowRecord({self.flow_id}, {self.group}, size={self.size}, "
+            f"fct={self.fct_ns})"
+        )
+
+
+#: Cap on per-run sample lists to bound memory in long runs.
+MAX_SAMPLES = 500_000
+
+
+class NetStats:
+    """Counters and samples for a whole simulation run."""
+
+    def __init__(self) -> None:
+        # Host-side packet accounting.
+        self.green_data_packets = 0
+        self.red_data_packets = 0
+        self.green_data_bytes = 0
+        self.red_data_bytes = 0
+        self.clocking_bytes = 0  # bytes injected by important ACK-clocking
+        self.clocking_packets = 0
+        # Switch-side drop accounting.
+        self.drops_green = 0
+        self.drops_red = 0
+        self.drop_bytes = 0
+        self.ecn_marks = 0
+        # PFC accounting.
+        self.pause_frames = 0
+        self.resume_frames = 0
+        # Transport events.
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        # Sample reservoirs.
+        self.rtt_samples_fg: List[int] = []
+        self.rtt_samples_bg: List[int] = []
+        self.delivery_samples: List[int] = []
+        self.flows: Dict[int, FlowRecord] = {}
+
+    # -- flow bookkeeping ------------------------------------------------------
+
+    def new_flow(self, flow_id: int, src: int, dst: int, size: int, start_ns: int, group: str) -> FlowRecord:
+        record = FlowRecord(flow_id, src, dst, size, start_ns, group)
+        self.flows[flow_id] = record
+        return record
+
+    def add_rtt_sample(self, rtt_ns: int, group: str) -> None:
+        samples = self.rtt_samples_fg if group == "fg" else self.rtt_samples_bg
+        if len(samples) < MAX_SAMPLES:
+            samples.append(rtt_ns)
+
+    def add_delivery_sample(self, delivery_ns: int) -> None:
+        if len(self.delivery_samples) < MAX_SAMPLES:
+            self.delivery_samples.append(delivery_ns)
+
+    # -- derived metrics ---------------------------------------------------------
+
+    def fct_list(self, group: str) -> List[int]:
+        """Completion times (ns) of finished flows in ``group``."""
+        return [
+            r.fct_ns  # type: ignore[misc]
+            for r in self.flows.values()
+            if r.group == group and r.fct_ns is not None
+        ]
+
+    def fct_summary(self, group: str) -> Dict[str, float]:
+        return summarize(self.fct_list(group))
+
+    def flow_count(self, group: Optional[str] = None) -> int:
+        if group is None:
+            return len(self.flows)
+        return sum(1 for r in self.flows.values() if r.group == group)
+
+    def incomplete_flows(self, group: Optional[str] = None) -> int:
+        return sum(
+            1
+            for r in self.flows.values()
+            if not r.completed and (group is None or r.group == group)
+        )
+
+    def timeouts_per_1k_flows(self) -> float:
+        flows = len(self.flows)
+        if flows == 0:
+            return 0.0
+        total = sum(r.timeouts for r in self.flows.values())
+        return 1000.0 * total / flows
+
+    def pause_frames_per_1k_flows(self) -> float:
+        flows = len(self.flows)
+        if flows == 0:
+            return 0.0
+        return 1000.0 * self.pause_frames / flows
+
+    def important_loss_rate(self) -> float:
+        """Loss rate of important (green) data packets."""
+        if self.green_data_packets == 0:
+            return 0.0
+        return self.drops_green / self.green_data_packets
+
+    def important_fraction_bytes(self) -> float:
+        """Fraction of transmitted data volume marked important."""
+        total = self.green_data_bytes + self.red_data_bytes
+        if total == 0:
+            return 0.0
+        return self.green_data_bytes / total
+
+    def goodput_bps(self, group: str, window_ns: int) -> float:
+        """Aggregate goodput of completed ``group`` flows over ``window_ns``."""
+        if window_ns <= 0:
+            return 0.0
+        done = [r for r in self.flows.values() if r.group == group and r.completed]
+        return sum(r.size for r in done) * 8 * 1e9 / window_ns

@@ -1,0 +1,29 @@
+"""Percentile helpers used by every experiment."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) of ``samples``; 0.0 when empty."""
+    if not len(samples):
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=float), p))
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p99 / p999 / max summary of a sample set."""
+    if not len(samples):
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0}
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "p999": float(np.percentile(arr, 99.9)),
+        "max": float(arr.max()),
+    }

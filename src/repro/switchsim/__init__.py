@@ -1,0 +1,28 @@
+"""Shared-buffer switch with commodity-chip features.
+
+Implements the switch model of §4 of the paper:
+
+- shared-buffer MMU with the Choudhury–Hahne dynamic threshold (α),
+- color-aware dropping of *red* (unimportant) packets at threshold K,
+- ECN marking (DCTCP step marking, DCQCN RED-like marking),
+- Priority-based Flow Control (802.1Qbb) with XOFF/XON accounting,
+- per-hop INT telemetry for HPCC.
+"""
+
+from repro.switchsim.buffer import SharedBuffer
+from repro.switchsim.ecn import EcnScheme, RedEcn, StepEcn
+from repro.switchsim.pfc import PfcConfig, PfcEngine
+from repro.switchsim.queue import EgressQueue
+from repro.switchsim.switch import Switch, SwitchConfig
+
+__all__ = [
+    "SharedBuffer",
+    "EcnScheme",
+    "RedEcn",
+    "StepEcn",
+    "PfcConfig",
+    "PfcEngine",
+    "EgressQueue",
+    "Switch",
+    "SwitchConfig",
+]

@@ -1,0 +1,53 @@
+"""Shared-buffer MMU with dynamic per-queue thresholds.
+
+Implements the dynamic threshold algorithm of Choudhury & Hahne
+([26] in the paper): an arriving packet destined to egress queue *i*
+is dropped when ``Q_i >= alpha * (B - used)`` where ``used`` is the
+total buffer occupancy. ``alpha = 1`` (the paper's setting) lets a
+single busy queue take at most 50% of the free pool.
+"""
+
+from __future__ import annotations
+
+
+class SharedBuffer:
+    """Tracks the shared pool and answers admission queries."""
+
+    __slots__ = ("capacity", "alpha", "used", "peak_used")
+
+    def __init__(self, capacity_bytes: int, alpha: float = 1.0):
+        if capacity_bytes <= 0:
+            raise ValueError("buffer capacity must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.capacity = capacity_bytes
+        self.alpha = alpha
+        self.used = 0
+        self.peak_used = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def dynamic_threshold(self) -> float:
+        """Current per-queue occupancy limit, alpha * (B - used)."""
+        return self.alpha * (self.capacity - self.used)
+
+    def admits(self, queue_occupancy: int, size: int) -> bool:
+        """Would the dynamic threshold admit ``size`` bytes to a queue
+        currently holding ``queue_occupancy`` bytes?"""
+        if self.used + size > self.capacity:
+            return False
+        return queue_occupancy < self.dynamic_threshold()
+
+    def reserve(self, size: int) -> None:
+        self.used += size
+        if self.used > self.peak_used:
+            self.peak_used = self.used
+        if self.used > self.capacity:
+            raise AssertionError("shared buffer overcommitted")
+
+    def release(self, size: int) -> None:
+        self.used -= size
+        if self.used < 0:
+            raise AssertionError("shared buffer under-run")

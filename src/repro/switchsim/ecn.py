@@ -1,0 +1,52 @@
+"""ECN marking schemes.
+
+- :class:`StepEcn` — DCTCP's single-threshold instantaneous marking:
+  mark every packet while the queue exceeds ``K_ECN``.
+- :class:`RedEcn` — DCQCN's RED-like probabilistic marking with
+  ``K_min``/``K_max``/``P_max`` on the instantaneous queue length.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class EcnScheme:
+    """Interface: decide whether to CE-mark given the queue length."""
+
+    def should_mark(self, queue_bytes: int) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class StepEcn(EcnScheme):
+    """DCTCP-style marking: CE when instantaneous queue exceeds K."""
+
+    def __init__(self, k_bytes: int):
+        if k_bytes <= 0:
+            raise ValueError("K_ECN must be positive")
+        self.k_bytes = k_bytes
+
+    def should_mark(self, queue_bytes: int) -> bool:
+        return queue_bytes > self.k_bytes
+
+
+class RedEcn(EcnScheme):
+    """DCQCN-style RED marking on the instantaneous queue length."""
+
+    def __init__(self, k_min: int, k_max: int, p_max: float, rng: random.Random):
+        if not 0 <= k_min < k_max:
+            raise ValueError("require 0 <= k_min < k_max")
+        if not 0 < p_max <= 1:
+            raise ValueError("require 0 < p_max <= 1")
+        self.k_min = k_min
+        self.k_max = k_max
+        self.p_max = p_max
+        self.rng = rng
+
+    def should_mark(self, queue_bytes: int) -> bool:
+        if queue_bytes <= self.k_min:
+            return False
+        if queue_bytes >= self.k_max:
+            return True
+        prob = self.p_max * (queue_bytes - self.k_min) / (self.k_max - self.k_min)
+        return self.rng.random() < prob

@@ -1,0 +1,59 @@
+"""A single FIFO egress queue with per-color accounting.
+
+The FIFO preserves packet order (the reason TLT uses colors within one
+queue rather than separate queues, §4.1). Entries remember the ingress
+port so PFC counters can be released on dequeue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.net.packet import Color, Packet
+
+
+class EgressQueue:
+    """FIFO of ``(packet, ingress_port_no)`` with byte-accurate occupancy."""
+
+    __slots__ = (
+        "port_no",
+        "items",
+        "occupancy",
+        "red_bytes",
+        "max_occupancy",
+        "max_red_bytes",
+        "dequeued_bytes",
+    )
+
+    def __init__(self, port_no: int):
+        self.port_no = port_no
+        self.items: Deque[Tuple[Packet, int]] = deque()
+        self.occupancy = 0
+        self.red_bytes = 0
+        self.max_occupancy = 0
+        self.max_red_bytes = 0
+        self.dequeued_bytes = 0
+
+    def push(self, packet: Packet, ingress_port_no: int) -> None:
+        self.items.append((packet, ingress_port_no))
+        self.occupancy += packet.size
+        if packet.color == Color.RED:
+            self.red_bytes += packet.size
+            if self.red_bytes > self.max_red_bytes:
+                self.max_red_bytes = self.red_bytes
+        if self.occupancy > self.max_occupancy:
+            self.max_occupancy = self.occupancy
+
+    def pop(self) -> Optional[Tuple[Packet, int]]:
+        if not self.items:
+            return None
+        packet, ingress = self.items.popleft()
+        self.occupancy -= packet.size
+        self.dequeued_bytes += packet.size
+        if packet.color == Color.RED:
+            self.red_bytes -= packet.size
+        return packet, ingress
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,205 @@
+"""The shared-buffer switch device.
+
+Admission pipeline for every arriving packet (§4 of the paper):
+
+1. **Color-aware dropping** — a red (unimportant) packet is dropped when
+   the egress queue's red occupancy would exceed the color-aware
+   dropping threshold K. This check runs *before* anything else, which
+   is exactly how TLT proactively sheds load to protect green packets
+   (and to avoid triggering PFC).
+2. **Dynamic threshold** — packets are dropped when the egress queue
+   exceeds ``alpha * (free pool)`` or the pool is exhausted. With PFC
+   enabled the lossless class is never dropped by the dynamic
+   threshold (PFC pushes back upstream before that happens; headroom is
+   assumed sufficient, as on a correctly configured lossless fabric) —
+   only true pool exhaustion drops.
+3. **ECN marking** — on admission, per the configured scheme.
+4. **PFC accounting** — per-ingress counters drive XOFF/XON.
+
+INT (HPCC) records are appended at dequeue time with the post-dequeue
+queue length, cumulative transmitted bytes and the port rate.
+
+**Traffic classes** (§5.3, incremental deployment): each port carries
+``num_traffic_classes`` FIFO queues selected by ``packet.tclass`` and
+served round-robin. ``color_classes`` restricts color-aware dropping to
+the TLT-enabled classes so legacy (non-TLT) traffic in its own class is
+never red-dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.net.link import Port
+from repro.net.node import Device
+from repro.net.packet import Color, IntRecord, Packet, PacketKind
+from repro.net.routing import Fib
+from repro.sim.engine import Engine
+from repro.stats.collector import NetStats
+from repro.switchsim.buffer import SharedBuffer
+from repro.switchsim.ecn import EcnScheme
+from repro.switchsim.pfc import PfcConfig, PfcEngine
+from repro.switchsim.queue import EgressQueue
+
+
+@dataclass
+class SwitchConfig:
+    """Per-switch configuration."""
+
+    buffer_bytes: int = 4_500_000  # paper: 4.5 MB per simulated switch
+    alpha: float = 1.0
+    color_threshold_bytes: Optional[int] = None  # K; None disables coloring
+    ecn: Optional[EcnScheme] = None
+    pfc: PfcConfig = field(default_factory=PfcConfig)
+    int_enabled: bool = False
+    num_traffic_classes: int = 1
+    #: Classes subject to color-aware dropping; None means all classes.
+    color_classes: Optional[Tuple[int, ...]] = None
+
+
+class Switch(Device):
+    """A shared-buffer switch with per-class FIFO egress queues."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        switch_id: int,
+        config: SwitchConfig,
+        stats: NetStats,
+        name: Optional[str] = None,
+    ):
+        super().__init__(engine, name or f"switch{switch_id}")
+        self.switch_id = switch_id
+        self.config = config
+        self.stats = stats
+        self.buffer = SharedBuffer(config.buffer_bytes, config.alpha)
+        self.fib = Fib(switch_id)
+        self._port_queues: List[List[EgressQueue]] = []
+        self._rr: List[int] = []  # per-port round-robin pointer
+        self.pfc: Optional[PfcEngine] = None
+        # Local drop counters (stats also aggregates network-wide).
+        self.drops_red = 0
+        self.drops_green = 0
+
+    # -- construction ------------------------------------------------------------
+
+    def add_port(self, rate_bps: int, delay_ns: int) -> Port:
+        port = super().add_port(rate_bps, delay_ns)
+        self._port_queues.append(
+            [EgressQueue(port.port_no) for _ in range(self.config.num_traffic_classes)]
+        )
+        self._rr.append(0)
+        return port
+
+    def finalize(self) -> None:
+        """Call after all ports are added: sets up PFC thresholds."""
+        if self.config.pfc.enabled:
+            xoff = self.config.pfc.resolved_xoff(self.config.buffer_bytes, len(self.ports))
+            xon = int(xoff * self.config.pfc.xon_fraction)
+            self.pfc = PfcEngine(self, xoff, xon)
+
+    @property
+    def queues(self) -> List[EgressQueue]:
+        """All egress queues of this switch (every port and class)."""
+        return [q for qs in self._port_queues for q in qs]
+
+    def queue_for(self, port_no: int, tclass: int = 0) -> EgressQueue:
+        return self._port_queues[port_no][tclass]
+
+    # -- data path ---------------------------------------------------------------
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        egress_no = self.fib.lookup(packet.dst, packet.flow_id)
+        port_queues = self._port_queues[egress_no]
+        tclass = packet.tclass if 0 <= packet.tclass < len(port_queues) else 0
+        queue = port_queues[tclass]
+        size = packet.size
+
+        # 1. Color-aware dropping of unimportant packets.
+        k = self.config.color_threshold_bytes
+        if (
+            k is not None
+            and packet.color == Color.RED
+            and queue.red_bytes + size > k
+            and (self.config.color_classes is None or tclass in self.config.color_classes)
+        ):
+            self._drop(packet)
+            return
+
+        # 2. Dynamic-threshold admission (per-port occupancy across classes).
+        port_occupancy = sum(q.occupancy for q in port_queues)
+        if self.pfc is None:
+            if not self.buffer.admits(port_occupancy, size):
+                self._drop(packet)
+                return
+        else:
+            # Lossless class: only true pool exhaustion drops.
+            if self.buffer.used + size > self.buffer.capacity:
+                self._drop(packet)
+                return
+
+        self.buffer.reserve(size)
+        queue.push(packet, in_port.port_no)
+
+        # 3. ECN marking on the instantaneous queue length.
+        ecn = self.config.ecn
+        if ecn is not None and packet.ecn_capable and not packet.ce:
+            if ecn.should_mark(queue.occupancy):
+                packet.ce = True
+                self.stats.ecn_marks += 1
+
+        # 4. PFC ingress accounting.
+        if self.pfc is not None:
+            self.pfc.on_admit(in_port.port_no, size)
+
+        self.ports[egress_no].kick()
+
+    def poll(self, port: Port) -> Optional[Packet]:
+        port_queues = self._port_queues[port.port_no]
+        nclasses = len(port_queues)
+        start = self._rr[port.port_no]
+        entry = None
+        for offset in range(nclasses):
+            idx = (start + offset) % nclasses
+            queue = port_queues[idx]
+            entry = queue.pop()
+            if entry is not None:
+                self._rr[port.port_no] = (idx + 1) % nclasses
+                break
+        if entry is None:
+            return None
+        packet, ingress_no = entry
+        self.buffer.release(packet.size)
+        if self.pfc is not None:
+            self.pfc.on_release(ingress_no, packet.size)
+        if (
+            self.config.int_enabled
+            and packet.kind == PacketKind.DATA
+            and packet.int_records is not None
+        ):
+            qlen = sum(q.occupancy for q in port_queues)
+            packet.add_int_record(
+                IntRecord(qlen, port.tx_bytes, self.engine.now, port.rate_bps)
+            )
+        return packet
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _drop(self, packet: Packet) -> None:
+        self.stats.drop_bytes += packet.size
+        if packet.color == Color.RED:
+            self.drops_red += 1
+            self.stats.drops_red += 1
+        else:
+            self.drops_green += 1
+            self.stats.drops_green += 1
+
+    def total_queued_bytes(self) -> int:
+        return self.buffer.used
+
+    def max_queue_occupancy(self) -> int:
+        return max((q.max_occupancy for q in self.queues), default=0)
+
+    def max_red_occupancy(self) -> int:
+        return max((q.max_red_bytes for q in self.queues), default=0)

@@ -1,0 +1,24 @@
+"""Datacenter transports implemented from scratch on the simulator.
+
+TCP family (byte-stream, window-based):
+  - :mod:`repro.transport.tcp` — TCP NewReno with SACK and dup-ACK
+    threshold 1 (early retransmit),
+  - :mod:`repro.transport.dctcp` — DCTCP,
+  - :mod:`repro.transport.tlp` — Tail Loss Probe add-on.
+
+RoCE family (packet-sequence):
+  - :mod:`repro.transport.roce` — the shared PSN base (go-back-N or
+    selective retransmission, CNP plumbing, rate pacing, window caps),
+  - :mod:`repro.transport.dcqcn` — DCQCN rate control (vanilla and
+    +SACK variants),
+  - :mod:`repro.transport.irn` — IRN (BDP window + selective retx),
+  - :mod:`repro.transport.hpcc` — HPCC (INT-based window control).
+
+Use :func:`repro.transport.registry.create_flow` to instantiate a
+sender/receiver pair by transport name.
+"""
+
+from repro.transport.base import FlowSpec, TransportConfig
+from repro.transport.registry import TRANSPORTS, create_flow
+
+__all__ = ["FlowSpec", "TransportConfig", "TRANSPORTS", "create_flow"]

@@ -1,0 +1,803 @@
+"""Shared transport machinery and the window-based byte-stream base.
+
+:class:`ByteStreamSender` / :class:`ByteStreamReceiver` implement the
+mechanics every TCP-family transport shares: a segment scoreboard with
+SACK, dup-ACK-threshold-1 early retransmit, Linux-style RTO handling
+with exponential backoff, and NewReno-style recovery. Congestion
+control variants (Reno, DCTCP) override the ``cc_*`` hooks.
+
+TLT hooks (``tlt`` on the sender, ``tlt_rx`` on the receiver) are
+optional objects provided by :mod:`repro.core.window`; when absent the
+transport behaves exactly like the baseline protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from collections import deque
+
+from repro.net.node import Host
+from repro.net.packet import Color, Packet, PacketKind, TltMark
+from repro.sim.units import MICROS, MILLIS
+from repro.stats.collector import FlowRecord, NetStats
+from repro.transport.rto import FixedRto, RtoEstimator
+from repro.transport.sack import ReceiverBuffer
+
+
+@dataclass
+class FlowSpec:
+    """Description of one flow to run."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size: int
+    start_ns: int = 0
+    group: str = "bg"  # "fg" foreground/incast or "bg" background
+    on_complete_rx: Optional[Callable[["FlowRecord"], None]] = None
+    on_complete_ack: Optional[Callable[["FlowRecord"], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"flow size must be positive, got {self.size}")
+        if self.src == self.dst:
+            raise ValueError("flow source and destination must differ")
+        if self.start_ns < 0:
+            raise ValueError("flow start time cannot be negative")
+
+
+@dataclass
+class TransportConfig:
+    """Knobs shared across the transport suite (paper defaults)."""
+
+    mss: int = 1460
+    init_cwnd_segments: int = 10
+    rto_min_ns: int = 4 * MILLIS
+    rto_max_ns: int = 1_000 * MILLIS
+    fixed_rto_ns: Optional[int] = None  # static RTO (e.g. the 160 us strawman)
+    dupack_threshold: int = 1
+    ecn: bool = False  # sender sets ECT, reacts to echoes (DCTCP)
+    dctcp_g: float = 1.0 / 16.0
+    tlp_enabled: bool = False
+    tlp_pto_min_ns: int = 10 * MICROS
+    # Model the 3-way handshake and FIN teardown. SYN/SYN-ACK/FIN are
+    # control packets — always important/green under TLT (§5). Off by
+    # default: the paper's benchmarks pre-establish connections.
+    handshake: bool = False
+    # Sender window cap (the role the receive window plays on real
+    # hosts); None derives 4x BDP from base_rtt/link_rate.
+    max_cwnd_bytes: Optional[int] = None
+    # Switch traffic class carried by every packet of the flow
+    # (incremental deployment, §5.3: TLT and legacy traffic can be
+    # isolated in separate egress queues).
+    traffic_class: int = 0
+    # Color stamped on every packet of a *non-TLT* flow. None keeps the
+    # default (green, i.e. untouched by color-aware dropping). Set to
+    # Color.RED to model legacy traffic whose packets carry no TLT DSCP
+    # and are classified unimportant by a TLT-configured ACL — the
+    # §5.3 misdeployment the incremental-deployment experiment shows.
+    plain_color: Optional[object] = None
+    # RoCE family additions.
+    packet_payload: int = 1000
+    window_cap_bytes: Optional[int] = None
+    # HPCC parameters.
+    hpcc_eta: float = 0.95
+    hpcc_max_stage: int = 5
+    hpcc_wai_bytes: int = 1000  # additive increase per adjustment
+    base_rtt_ns: int = 80 * MICROS
+    # DCQCN parameters.
+    dcqcn_rate_ai_bps: int = 40_000_000  # 40 Mbps additive increase
+    dcqcn_rate_hai_bps: int = 400_000_000
+    dcqcn_g: float = 1.0 / 256.0
+    dcqcn_alpha_timer_ns: int = 55 * MICROS
+    dcqcn_rate_timer_ns: int = 55 * MICROS
+    dcqcn_byte_counter: int = 10 * 1_000_000
+    dcqcn_fr_stages: int = 5
+    cnp_interval_ns: int = 50 * MICROS
+    min_rate_bps: int = 40_000_000
+    link_rate_bps: int = 40_000_000_000
+
+    def make_rto(self) -> RtoEstimator:
+        if self.fixed_rto_ns is not None:
+            return FixedRto(self.fixed_rto_ns, self.rto_max_ns)
+        return RtoEstimator(self.rto_min_ns, self.rto_max_ns)
+
+
+class Segment:
+    """Sender-side scoreboard entry for one transmitted segment."""
+
+    __slots__ = (
+        "start",
+        "end",
+        "acked",
+        "sacked",
+        "lost",
+        "in_pipe",
+        "retx_count",
+        "first_tx_ns",
+        "last_tx_ns",
+        "delivered",
+    )
+
+    def __init__(self, start: int, end: int):
+        self.start = start
+        self.end = end
+        self.acked = False
+        self.sacked = False
+        self.lost = False
+        self.in_pipe = False
+        self.retx_count = 0
+        self.first_tx_ns = -1
+        self.last_tx_ns = -1
+        self.delivered = False  # delivery-time sample recorded
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover
+        flags = "".join(
+            c
+            for c, f in (
+                ("A", self.acked),
+                ("S", self.sacked),
+                ("L", self.lost),
+                ("P", self.in_pipe),
+            )
+            if f
+        )
+        return f"Seg[{self.start},{self.end}){flags}"
+
+
+class ByteStreamReceiver:
+    """Receives a byte stream, ACKs every data packet, generates SACK."""
+
+    def __init__(self, host: Host, spec: FlowSpec, config: TransportConfig, stats: NetStats):
+        self.host = host
+        self.spec = spec
+        self.config = config
+        self.stats = stats
+        self.engine = host.engine
+        self.buffer = ReceiverBuffer()
+        self.tlt_rx = None  # set by repro.core.window.TltWindowReceiver
+        self.done = False
+        host.register_endpoint(spec.flow_id, self)
+
+    @property
+    def record(self) -> Optional[FlowRecord]:
+        """The flow record created by the sender (shared via stats)."""
+        return self.stats.flows.get(self.spec.flow_id)
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind == PacketKind.SYN:
+            self._send_syn_ack(packet)
+            return
+        if packet.kind == PacketKind.FIN:
+            return  # teardown is fire-and-forget; bookkeeping done at rx
+        if packet.kind != PacketKind.DATA:
+            return
+        if self.tlt_rx is not None:
+            self.tlt_rx.on_data(packet)
+        self.buffer.on_data(packet.seq, packet.payload)
+        if not self.done and self.buffer.rcv_nxt >= self.spec.size:
+            self.done = True
+            if self.record is not None:
+                self.record.end_rx_ns = self.engine.now
+            if self.spec.on_complete_rx is not None:
+                self.spec.on_complete_rx(self.record)
+        self._send_ack(packet)
+
+    def _send_syn_ack(self, syn: Packet) -> None:
+        """Reply to a SYN; idempotent for retransmitted SYNs."""
+        syn_ack = Packet(self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.SYN_ACK)
+        syn_ack.ts_echo = syn.ts_sent
+        syn_ack.tclass = self.config.traffic_class
+        syn_ack.color = Color.GREEN
+        syn_ack.mark = TltMark.CONTROL
+        self.host.send(syn_ack)
+
+    def _send_ack(self, data_packet: Packet) -> None:
+        ack = Packet(
+            self.spec.flow_id,
+            self.spec.dst,
+            self.spec.src,
+            PacketKind.ACK,
+            ack=self.buffer.rcv_nxt,
+        )
+        ack.sack = self.buffer.sack_blocks()
+        ack.ecn_echo = data_packet.ce
+        ack.ts_echo = data_packet.ts_sent
+        ack.tclass = self.config.traffic_class
+        # Pure ACKs are control packets: always important (green).
+        ack.color = Color.GREEN
+        ack.mark = TltMark.CONTROL
+        if self.tlt_rx is not None:
+            self.tlt_rx.mark_ack(ack)
+        elif self.config.plain_color is not None:
+            ack.color = self.config.plain_color
+            ack.mark = TltMark.NONE
+        self.host.send(ack)
+
+
+class ByteStreamSender:
+    """Window-based reliable sender (base for TCP/DCTCP and variants)."""
+
+    #: overridden by subclasses for reporting
+    name = "bytestream"
+
+    def __init__(
+        self,
+        host: Host,
+        spec: FlowSpec,
+        config: TransportConfig,
+        stats: NetStats,
+    ):
+        self.host = host
+        self.spec = spec
+        self.config = config
+        self.stats = stats
+        self.engine = host.engine
+        self.record = stats.new_flow(
+            spec.flow_id, spec.src, spec.dst, spec.size, spec.start_ns, spec.group
+        )
+
+        mss = config.mss
+        self.mss = mss
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = config.init_cwnd_segments * mss
+        self.ssthresh = 1 << 60
+        self.pipe = 0
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover_point = 0
+        self.segments: List[Segment] = []
+        self._head = 0  # index of first not-fully-acked segment
+        self.lost_queue: Deque[Segment] = deque()
+        self._ca_acc = 0  # congestion-avoidance byte accumulator
+        self._highest_sacked = 0  # highest SACKed sequence seen
+        self._scan_hint = 0  # first index possibly unresolved below SACK
+        self._retx_inflight: set = set()  # retransmitted, awaiting ACK
+        if config.max_cwnd_bytes is not None:
+            self.max_cwnd = config.max_cwnd_bytes
+        else:
+            bdp = config.link_rate_bps * config.base_rtt_ns // 8 // 1_000_000_000
+            self.max_cwnd = max(4 * bdp, 64 * mss)
+
+        self.rto = config.make_rto()
+        self._rto_deadline: Optional[int] = None
+        self._rto_event = None
+        self._pto_event = None
+        self._probe_outstanding = False
+
+        self.tlt = None  # set by repro.core.window.TltWindowSender
+        self.started = False
+        self.established = False  # True once the (optional) handshake ends
+        self.completed = False
+
+        host.register_endpoint(spec.flow_id, self)
+        self.engine.schedule_at(spec.start_ns, self.start)
+
+    # ------------------------------------------------------------------ start
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        if self.config.handshake:
+            self._send_syn()
+        else:
+            self.established = True
+            self.try_send()
+
+    # ------------------------------------------------------------ handshake
+
+    def _send_syn(self) -> None:
+        syn = Packet(self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.SYN)
+        syn.ts_sent = self.engine.now
+        syn.tclass = self.config.traffic_class
+        syn.color = Color.GREEN
+        syn.mark = TltMark.CONTROL
+        self.host.send(syn)
+        # SYN retransmission timer (counts as a timeout when it fires).
+        self._arm_rto()
+
+    def _on_syn_ack(self, packet: Packet) -> None:
+        if self.established:
+            return
+        self.established = True
+        if packet.ts_echo > 0:
+            self.rto.on_rtt_sample(self.engine.now - packet.ts_echo)
+        self._cancel_rto()
+        self.try_send()
+
+    def _send_fin(self) -> None:
+        fin = Packet(self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.FIN)
+        fin.ts_sent = self.engine.now
+        fin.tclass = self.config.traffic_class
+        fin.color = Color.GREEN
+        fin.mark = TltMark.CONTROL
+        self.host.send(fin)
+
+    # ------------------------------------------------------------ send path
+
+    def _next_candidate(self):
+        """Peek the next thing to send: a lost segment or new data.
+
+        Returns ``("retx", segment)``, ``("new", length)`` or None.
+        """
+        while self.lost_queue:
+            seg = self.lost_queue[0]
+            if seg.acked or seg.sacked or not seg.lost:
+                self.lost_queue.popleft()
+                continue
+            return ("retx", seg)
+        if self.snd_nxt < self.spec.size:
+            return ("new", min(self.mss, self.spec.size - self.snd_nxt))
+        return None
+
+    def try_send(self) -> int:
+        """Send as much as the window allows; returns packets sent."""
+        if not self.started or not self.established or self.completed:
+            return 0
+        sent = 0
+        while True:
+            cand = self._next_candidate()
+            if cand is None:
+                break
+            size = cand[1].size if cand[0] == "retx" else cand[1]
+            if self.pipe + size > self.cwnd:
+                break
+            if cand[0] == "retx":
+                seg = cand[1]
+                self.lost_queue.popleft()
+            else:
+                seg = Segment(self.snd_nxt, self.snd_nxt + size)
+                self.segments.append(seg)
+                self.snd_nxt = seg.end
+            self._transmit(seg)
+            sent += 1
+        return sent
+
+    def _transmit(self, seg: Segment, clock_mark: bool = False) -> None:
+        now = self.engine.now
+        is_retx = seg.first_tx_ns >= 0
+        if is_retx:
+            seg.retx_count += 1
+            seg.lost = False
+            self.record.retx_bytes += seg.size
+            self._retx_inflight.add(seg)
+        else:
+            seg.first_tx_ns = now
+        seg.last_tx_ns = now
+        if not seg.in_pipe:
+            seg.in_pipe = True
+            self.pipe += seg.size
+
+        packet = Packet(
+            self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.DATA,
+            seq=seg.start, payload=seg.size,
+        )
+        packet.ecn_capable = self.config.ecn
+        packet.ts_sent = now
+        packet.tclass = self.config.traffic_class
+        packet.is_retx = is_retx
+        self.record.tx_bytes += seg.size
+
+        if self.tlt is not None:
+            if clock_mark:
+                self.tlt.mark_clock_data(packet)
+            else:
+                last_allowed = self._is_last_allowed(seg)
+                self.tlt.mark_data(packet, last_allowed)
+        elif self.config.plain_color is not None:
+            packet.color = self.config.plain_color
+        self.host.send(packet)
+        self._arm_rto()
+        self._arm_pto()
+
+    def _is_last_allowed(self, just_sent: Segment) -> bool:
+        """True when no further send can follow right now (window edge
+        or end of data) — the packet at the tail of the current burst."""
+        if just_sent.end >= self.spec.size and not self.lost_queue:
+            return True
+        cand = self._next_candidate()
+        if cand is None:
+            return True
+        size = cand[1].size if cand[0] == "retx" else cand[1]
+        return self.pipe + size > self.cwnd
+
+    # ------------------------------------------------------------ receive path
+
+    def on_packet(self, packet: Packet) -> None:
+        if self.completed:
+            return
+        if packet.kind == PacketKind.SYN_ACK:
+            self._on_syn_ack(packet)
+            return
+        if packet.kind != PacketKind.ACK:
+            return
+        if self.tlt is not None and not self.tlt.on_ack(packet):
+            return  # Important Clock Echo suppressed below snd_una
+        now = self.engine.now
+
+        # Timestamp-based RTT sample (Karn-safe: echo carries the actual
+        # transmission time of the packet that triggered this ACK).
+        if packet.ts_echo > 0:
+            rtt = now - packet.ts_echo
+            self.rto.on_rtt_sample(rtt)
+            self.stats.add_rtt_sample(rtt, self.spec.group)
+
+        newly_acked = 0
+        if packet.ack > self.snd_una:
+            newly_acked = packet.ack - self.snd_una
+            self.snd_una = packet.ack
+            self.dupacks = 0
+            self._probe_outstanding = False
+            self._advance_head(packet.ack)
+            if self.in_recovery and self.snd_una >= self.recover_point:
+                self.in_recovery = False
+            self._restart_rto()
+        elif packet.ack == self.snd_una and self.snd_una < self.snd_nxt:
+            self.dupacks += 1
+
+        sacked_bytes = self._apply_sack(packet.sack)
+
+        if self.tlt is not None:
+            # Echo-based loss detection runs once the ACK/SACK state is
+            # current, so freshly acknowledged segments are not marked.
+            self.tlt.on_ack_post(packet)
+
+        # ECN echo processing (DCTCP overrides).
+        if packet.ecn_echo and self.config.ecn:
+            self.cc_on_ecn_echo(newly_acked)
+        self.cc_after_ack(newly_acked)
+
+        if newly_acked and not self.in_recovery:
+            self.cc_on_ack_increase(newly_acked)
+
+        # Loss detection: dup-ACK threshold (1 = early retransmit) or
+        # SACK holes below the highest SACKed sequence.
+        if self.dupacks >= self.config.dupack_threshold or sacked_bytes:
+            self._detect_losses()
+
+        if self.snd_una >= self.spec.size:
+            self._complete()
+            return
+
+        self.try_send()
+        if self.tlt is not None:
+            self.tlt.after_ack()
+
+    def _advance_head(self, ack: int) -> None:
+        segs = self.segments
+        idx = self._head
+        now = self.engine.now
+        while idx < len(segs) and segs[idx].end <= ack:
+            seg = segs[idx]
+            if seg.in_pipe:
+                seg.in_pipe = False
+                self.pipe -= seg.size
+            if not seg.delivered:
+                seg.delivered = True
+                self.stats.add_delivery_sample(now - seg.first_tx_ns)
+            seg.acked = True
+            seg.lost = False
+            self._retx_inflight.discard(seg)
+            idx += 1
+        self._head = idx
+        if self._scan_hint < idx:
+            self._scan_hint = idx
+
+    def _apply_sack(self, blocks) -> int:
+        """Mark SACKed segments. Segments are MSS-aligned, so a block's
+        first segment index is ``lo // mss`` — no window scan needed."""
+        if not blocks:
+            return 0
+        newly = 0
+        now = self.engine.now
+        segs = self.segments
+        mss = self.mss
+        n = len(segs)
+        for lo, hi in blocks:
+            if hi > self._highest_sacked:
+                self._highest_sacked = hi
+            idx = max(lo // mss, self._head)
+            while idx < n:
+                seg = segs[idx]
+                if seg.start >= hi:
+                    break
+                if not (seg.acked or seg.sacked) and seg.start >= lo and seg.end <= hi:
+                    seg.sacked = True
+                    seg.lost = False
+                    if seg.in_pipe:
+                        seg.in_pipe = False
+                        self.pipe -= seg.size
+                    if not seg.delivered:
+                        seg.delivered = True
+                        self.stats.add_delivery_sample(now - seg.first_tx_ns)
+                    self._retx_inflight.discard(seg)
+                    newly += seg.size
+                idx += 1
+        return newly
+
+    def _outstanding(self):
+        """Iterate segments at/after the head (not cumulatively acked)."""
+        segs = self.segments
+        for idx in range(self._head, len(segs)):
+            yield segs[idx]
+
+    def _detect_losses(self) -> None:
+        """Mark holes lost (dup-ACK threshold 1 / SACK-based).
+
+        Three rules, each amortized O(1) per segment transition:
+
+        1. never-retransmitted segments below the highest SACK are holes
+           (scanned once thanks to the resolved-prefix hint);
+        2. on a duplicate ACK the head-of-line segment is a hole
+           (early retransmit, dup-ACK threshold 1);
+        3. a *retransmitted* segment is only re-marked once it has aged
+           a full SRTT below the highest SACK (RACK-style) — re-marking
+           it on every ACK would spuriously retransmit in-flight data.
+        """
+        now = self.engine.now
+        srtt = self.rto.srtt or self.config.base_rtt_ns
+        marked = 0
+        segs = self.segments
+        n = len(segs)
+        highest = self._highest_sacked
+
+        idx = max(self._head, self._scan_hint)
+        while idx < n:
+            seg = segs[idx]
+            if seg.end > highest:
+                break
+            if not (seg.acked or seg.sacked or seg.lost) and seg.retx_count == 0:
+                self._mark_lost(seg)
+                marked += 1
+            idx += 1
+        self._scan_hint = idx
+
+        if self.dupacks >= self.config.dupack_threshold and self._head < n:
+            head_seg = segs[self._head]
+            if not (head_seg.acked or head_seg.sacked or head_seg.lost):
+                if head_seg.retx_count == 0 or head_seg.last_tx_ns + srtt <= now:
+                    self._mark_lost(head_seg)
+                    marked += 1
+
+        if self._retx_inflight:
+            for seg in list(self._retx_inflight):
+                if seg.acked or seg.sacked or seg.lost:
+                    self._retx_inflight.discard(seg)
+                    continue
+                if seg.end <= highest and seg.last_tx_ns + srtt <= now:
+                    self._mark_lost(seg)
+                    marked += 1
+
+        if marked:
+            self._enter_recovery()
+
+    def _mark_lost(self, seg: Segment) -> None:
+        if seg.lost or seg.acked or seg.sacked:
+            return
+        seg.lost = True
+        if seg.in_pipe:
+            seg.in_pipe = False
+            self.pipe -= seg.size
+        self._retx_inflight.discard(seg)
+        self.lost_queue.append(seg)
+
+    def mark_lost_sent_before(self, tx_time_ns: int) -> int:
+        """TLT echo-based loss detection: everything transmitted at or
+        before ``tx_time_ns`` that is still unacknowledged is lost
+        (§5.1, 'guaranteed fast loss detection'). Returns bytes marked."""
+        marked = 0
+        for seg in self._outstanding():
+            if seg.acked or seg.sacked or seg.lost:
+                continue
+            if seg.last_tx_ns >= 0 and seg.last_tx_ns <= tx_time_ns and seg.in_pipe:
+                self._mark_lost(seg)
+                marked += seg.size
+        if marked:
+            self._enter_recovery()
+        return marked
+
+    def _enter_recovery(self) -> None:
+        if self.in_recovery:
+            return
+        self.in_recovery = True
+        self.recover_point = self.snd_nxt
+        self.stats.fast_retransmits += 1
+        self.cc_on_loss()
+
+    # --------------------------------------------------------------- timers
+
+    def _arm_rto(self) -> None:
+        if self._rto_deadline is None:
+            self._restart_rto()
+
+    def _restart_rto(self) -> None:
+        self._rto_deadline = self.engine.now + self.rto.current
+        if self._rto_event is None:
+            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+
+    def _cancel_rto(self) -> None:
+        self._rto_deadline = None
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _rto_fire(self) -> None:
+        self._rto_event = None
+        if self.completed or self._rto_deadline is None:
+            return
+        now = self.engine.now
+        if now < self._rto_deadline:
+            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+            return
+        if self.snd_una >= self.spec.size:
+            return
+        self._on_timeout()
+
+    def _on_timeout(self) -> None:
+        self.record.timeouts += 1
+        self.stats.timeouts += 1
+        self.rto.backoff()
+        if not self.established:
+            # SYN (or SYN-ACK) lost: retransmit the SYN.
+            self._rto_deadline = self.engine.now + self.rto.current
+            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+            self._send_syn()
+            return
+        self.dupacks = 0
+        # Collapse the window and retransmit from snd_una.
+        self.ssthresh = max(self.pipe // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self._ca_acc = 0
+        self.in_recovery = True
+        self.recover_point = self.snd_nxt
+        for seg in self._outstanding():
+            if not (seg.acked or seg.sacked):
+                self._mark_lost(seg)
+        self._rto_deadline = self.engine.now + self.rto.current
+        self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+        self.try_send()
+
+    # -------------------------------------------------------------- TLP
+
+    def _arm_pto(self) -> None:
+        if not self.config.tlp_enabled or self._probe_outstanding:
+            return
+        srtt = self.rto.srtt or self.config.base_rtt_ns
+        pto = max(2 * srtt, self.config.tlp_pto_min_ns)
+        pto = min(pto, self.rto.current)
+        if self._pto_event is not None:
+            self._pto_event.cancel()
+        self._pto_event = self.engine.schedule(pto, self._pto_fire)
+
+    def _pto_fire(self) -> None:
+        self._pto_event = None
+        if self.completed or self.snd_una >= self.spec.size:
+            return
+        if self.pipe == 0 and self.snd_nxt <= self.snd_una:
+            return
+        # Transmit a loss probe: new data if any, else the highest
+        # outstanding segment.
+        self._probe_outstanding = True
+        if self.snd_nxt < self.spec.size:
+            size = min(self.mss, self.spec.size - self.snd_nxt)
+            seg = Segment(self.snd_nxt, self.snd_nxt + size)
+            self.segments.append(seg)
+            self.snd_nxt = seg.end
+            self._transmit(seg)
+            return
+        for idx in range(len(self.segments) - 1, self._head - 1, -1):
+            seg = self.segments[idx]
+            if not (seg.acked or seg.sacked):
+                self._transmit(seg)
+                return
+
+    # ------------------------------------------------------- TLT helpers
+
+    def is_all_acked(self) -> bool:
+        """True when every byte of the flow has been acknowledged."""
+        return self.snd_una >= self.spec.size
+
+    def has_unrepaired_loss(self) -> bool:
+        while self.lost_queue:
+            seg = self.lost_queue[0]
+            if seg.acked or seg.sacked or not seg.lost:
+                self.lost_queue.popleft()
+                continue
+            return True
+        return False
+
+    def outstanding_bytes(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    def clock_retransmit(self) -> int:
+        """Important ACK-clocking, 1-MSS flavor: retransmit the first
+        lost segment (or the first unacked one when nothing is marked
+        lost). The caller (TLT controller) marks the packet.
+        Returns the number of bytes sent."""
+        seg: Optional[Segment] = None
+        while self.lost_queue:
+            head = self.lost_queue[0]
+            if head.acked or head.sacked or not head.lost:
+                self.lost_queue.popleft()
+                continue
+            seg = head
+            self.lost_queue.popleft()
+            break
+        if seg is None:
+            for cand in self._outstanding():
+                if not (cand.acked or cand.sacked):
+                    seg = cand
+                    break
+        if seg is None:
+            return 0
+        self._transmit(seg, clock_mark=True)
+        return seg.size
+
+    def clock_one_byte(self) -> None:
+        """Important ACK-clocking, 1-byte flavor: resend the first
+        unacked byte (minimal footprint, §5.1)."""
+        packet = Packet(
+            self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.DATA,
+            seq=self.snd_una, payload=1,
+        )
+        packet.ecn_capable = self.config.ecn
+        packet.ts_sent = self.engine.now
+        packet.tclass = self.config.traffic_class
+        packet.is_retx = True
+        if self.tlt is not None:
+            self.tlt.mark_clock_data(packet)
+        self.host.send(packet)
+        self._arm_rto()
+
+    # ------------------------------------------------------- CC hooks
+
+    def cc_on_ack_increase(self, newly_acked: int) -> None:
+        """Reno growth: slow start below ssthresh, else 1 MSS per RTT;
+        capped at ``max_cwnd`` (the receive-window role)."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(newly_acked, self.mss)
+        else:
+            self._ca_acc += self.mss * newly_acked
+            if self._ca_acc >= self.cwnd:
+                self._ca_acc -= self.cwnd
+                self.cwnd += self.mss
+        if self.cwnd > self.max_cwnd:
+            self.cwnd = self.max_cwnd
+
+    def cc_on_loss(self) -> None:
+        """Reno halving on entering fast recovery."""
+        self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh
+        self._ca_acc = 0
+
+    def cc_on_ecn_echo(self, newly_acked: int) -> None:
+        """ECN reaction; vanilla TCP treats it like loss (once per window)."""
+
+    def cc_after_ack(self, newly_acked: int) -> None:
+        """Per-ACK hook for subclasses (e.g. DCTCP fraction tracking)."""
+
+    # ------------------------------------------------------------- completion
+
+    def _complete(self) -> None:
+        if self.completed:
+            return
+        self.completed = True
+        self._cancel_rto()
+        if self._pto_event is not None:
+            self._pto_event.cancel()
+            self._pto_event = None
+        self.record.end_ack_ns = self.engine.now
+        self.record.final_rto_ns = self.rto.base_rto
+        self.record.final_srtt_ns = self.rto.srtt
+        if self.config.handshake:
+            self._send_fin()
+        if self.spec.on_complete_ack is not None:
+            self.spec.on_complete_ack(self.record)

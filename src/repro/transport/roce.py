@@ -1,0 +1,721 @@
+"""The RoCE family: a packet-sequence (PSN) transport base.
+
+One sender/receiver pair supports every RoCE variant in the paper:
+
+================  ========  =========  ==========  ==============
+variant           recovery  pacing     window      RTO
+================  ========  =========  ==========  ==============
+``dcqcn``         go-back-N DCQCN rate —           static 4 ms
+``dcqcn-sack``    selective DCQCN rate —           static 4 ms
+``irn``           selective DCQCN rate BDP cap     RTO_high 1.93 ms
+``hpcc``          selective —          HPCC (INT)  static 4 ms
+================  ========  =========  ==========  ==============
+
+Receivers ACK every packet (cumulative PSN + SACK blocks in selective
+mode), NACK on out-of-order arrival in go-back-N mode, and emit a CNP
+at most once per 50 µs while CE-marked packets arrive (DCQCN).
+
+TLT attaches to ``hpcc``/``irn`` through the window-based controller
+(§5.1; clocking injects a duplicate of the first unacknowledged packet
+— RoCE cannot segment a PSN into bytes, a substitution documented in
+DESIGN.md) and to ``dcqcn``/``dcqcn-sack`` through the rate-based
+controller (§5.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.net.node import Host
+from repro.net.packet import Color, HEADER_BYTES, Packet, PacketKind, TltMark
+from repro.net.topology import Network
+from repro.sim.units import MILLIS, tx_time_ns
+from repro.stats.collector import FlowRecord, NetStats
+from repro.transport.base import FlowSpec, TransportConfig
+from repro.transport.dcqcn import DcqcnRateControl
+from repro.transport.hpcc import HpccController
+from repro.transport.rto import FixedRto
+from repro.transport.sack import ReceiverBuffer
+
+
+class PState:
+    """Per-PSN scoreboard entry."""
+
+    __slots__ = ("acked", "sacked", "lost", "in_pipe", "first_tx_ns", "last_tx_ns", "retx_count", "delivered")
+
+    def __init__(self) -> None:
+        self.acked = False
+        self.sacked = False
+        self.lost = False
+        self.in_pipe = False
+        self.first_tx_ns = -1
+        self.last_tx_ns = -1
+        self.retx_count = 0
+        self.delivered = False
+
+
+class RoceSender:
+    """Rate- and/or window-limited PSN sender."""
+
+    name = "roce"
+
+    def __init__(
+        self,
+        host: Host,
+        spec: FlowSpec,
+        config: TransportConfig,
+        stats: NetStats,
+        recovery: str = "sack",
+        use_dcqcn: bool = True,
+        window_cap_bytes: Optional[int] = None,
+        use_hpcc: bool = False,
+        rto_ns: int = 4 * MILLIS,
+    ):
+        if recovery not in ("sack", "gbn"):
+            raise ValueError(f"unknown recovery mode {recovery!r}")
+        self.host = host
+        self.spec = spec
+        self.config = config
+        self.stats = stats
+        self.engine = host.engine
+        self.recovery = recovery
+        self.record = stats.new_flow(
+            spec.flow_id, spec.src, spec.dst, spec.size, spec.start_ns, spec.group
+        )
+
+        payload = config.packet_payload
+        self.payload = payload
+        self.npkts = max(1, -(-spec.size // payload))
+        self._last_payload = spec.size - (self.npkts - 1) * payload
+        self.states: List[PState] = [PState() for _ in range(self.npkts)]
+
+        self.snd_una = 0  # first unacked PSN
+        self.snd_next = 0  # next new PSN
+        self.snd_ptr = 0  # go-back-N transmit pointer
+        self.snd_max = 0  # highest PSN+1 ever sent
+        self.pipe = 0
+        self.dupacks = 0
+        self.lost_queue: Deque[int] = deque()
+        self._highest_sacked = 0  # highest SACKed PSN bound (exclusive)
+        self._scan_hint = 0  # first PSN possibly unresolved below SACK
+        self._retx_inflight: set = set()  # retransmitted PSNs awaiting ACK
+
+        self.rate_ctrl = DcqcnRateControl(self.engine, config) if use_dcqcn else None
+        self.hpcc = HpccController(config) if use_hpcc else None
+        self.window_cap_bytes = window_cap_bytes
+        self._next_tx_time = 0
+        self._send_event = None
+
+        self.rto = FixedRto(rto_ns, config.rto_max_ns)
+        self._rto_deadline: Optional[int] = None
+        self._rto_event = None
+        self._rack_event = None  # reorder timer re-marking aged retx
+
+        self.tlt = None  # window-based TLT controller (irn/hpcc)
+        self.tlt_rate = None  # rate-based TLT controller (dcqcn variants)
+        self.started = False
+        self.completed = False
+
+        host.register_endpoint(spec.flow_id, self)
+        self.engine.schedule_at(spec.start_ns, self.start)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        if self.rate_ctrl is not None:
+            self.rate_ctrl.start()
+        self._schedule_send()
+
+    def payload_of(self, psn: int) -> int:
+        return self._last_payload if psn == self.npkts - 1 else self.payload
+
+    def is_all_acked(self) -> bool:
+        return self.snd_una >= self.npkts
+
+    # ------------------------------------------------------------- send engine
+
+    def _next_candidate(self) -> Optional[int]:
+        if self.recovery == "gbn":
+            return self.snd_ptr if self.snd_ptr < self.npkts else None
+        while self.lost_queue:
+            psn = self.lost_queue[0]
+            st = self.states[psn]
+            if st.acked or st.sacked or not st.lost:
+                self.lost_queue.popleft()
+                continue
+            return psn
+        return self.snd_next if self.snd_next < self.npkts else None
+
+    def effective_window(self) -> Optional[int]:
+        if self.hpcc is not None:
+            return self.hpcc.window
+        return self.window_cap_bytes
+
+    def _window_blocked(self, size: int) -> bool:
+        window = self.effective_window()
+        if window is None:
+            return False
+        return self.pipe + size > window and self.pipe > 0
+
+    def _schedule_send(self) -> None:
+        if self._send_event is not None or self.completed or not self.started:
+            return
+        psn = self._next_candidate()
+        if psn is None:
+            return
+        if self._window_blocked(self.payload_of(psn) + HEADER_BYTES):
+            return  # resumed on the next ACK
+        at = max(self.engine.now, self._next_tx_time)
+        self._send_event = self.engine.schedule_at(at, self._send_fire)
+
+    def _send_fire(self) -> None:
+        self._send_event = None
+        if self.completed:
+            return
+        psn = self._next_candidate()
+        if psn is None:
+            return
+        size = self.payload_of(psn) + HEADER_BYTES
+        if self._window_blocked(size):
+            return
+        if self.recovery == "gbn":
+            self.snd_ptr += 1
+        else:
+            if psn == self.snd_next:
+                self.snd_next += 1
+            else:
+                self.lost_queue.popleft()
+        self._transmit(psn)
+        self._schedule_send()
+
+    def _transmit(self, psn: int, clock_mark: bool = False) -> None:
+        now = self.engine.now
+        st = self.states[psn]
+        is_retx = st.first_tx_ns >= 0
+        payload = self.payload_of(psn)
+        if is_retx:
+            st.retx_count += 1
+            self.record.retx_bytes += payload
+            if self.recovery == "sack":
+                self._retx_inflight.add(psn)
+                self._arm_rack_timer()
+        else:
+            st.first_tx_ns = now
+        st.last_tx_ns = now
+        st.lost = False
+        if not st.in_pipe:
+            st.in_pipe = True
+            self.pipe += payload + HEADER_BYTES
+        if psn + 1 > self.snd_max:
+            self.snd_max = psn + 1
+
+        packet = Packet(
+            self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.DATA,
+            seq=psn, payload=payload,
+        )
+        packet.ecn_capable = True
+        packet.ts_sent = now
+        packet.tclass = self.config.traffic_class
+        packet.is_retx = is_retx
+        if self.hpcc is not None:
+            packet.int_records = []  # request INT telemetry
+        self.record.tx_bytes += payload
+
+        if self.tlt is not None:
+            if clock_mark:
+                self.tlt.mark_clock_data(packet)
+            else:
+                self.tlt.mark_data(packet, self._is_last_allowed(psn))
+        elif self.tlt_rate is not None:
+            self.tlt_rate.mark_data(packet, psn, is_retx)
+
+        self.host.send(packet)
+        self._arm_rto()
+        if self.rate_ctrl is not None:
+            self.rate_ctrl.on_bytes_sent(packet.size)
+            self._next_tx_time = now + tx_time_ns(
+                packet.size, max(self.rate_ctrl.rate_bps, self.config.min_rate_bps)
+            )
+
+    def _is_last_allowed(self, just_sent: int) -> bool:
+        nxt = self._next_candidate()
+        if nxt is None:
+            return True
+        return self._window_blocked(self.payload_of(nxt) + HEADER_BYTES)
+
+    # ------------------------------------------------------------ receive path
+
+    def on_packet(self, packet: Packet) -> None:
+        if self.completed:
+            return
+        if packet.kind == PacketKind.CNP:
+            if self.rate_ctrl is not None:
+                self.rate_ctrl.on_cnp()
+            return
+        if packet.kind == PacketKind.NACK:
+            self._on_nack(packet)
+            return
+        if packet.kind != PacketKind.ACK:
+            return
+
+        if self.tlt is not None and not self.tlt.on_ack(packet):
+            return
+        now = self.engine.now
+        if packet.ts_echo > 0:
+            rtt = now - packet.ts_echo
+            self.rto.on_rtt_sample(rtt)
+            self.stats.add_rtt_sample(rtt, self.spec.group)
+
+        newly_acked = 0
+        if packet.ack > self.snd_una:
+            newly_acked = packet.ack - self.snd_una
+            self._advance_una(packet.ack)
+            self.dupacks = 0
+            self._restart_rto()
+        elif packet.ack == self.snd_una and self.snd_una < self.snd_max:
+            self.dupacks += 1
+
+        sacked = self._apply_sack(packet.sack) if self.recovery == "sack" else 0
+
+        if self.tlt is not None:
+            self.tlt.on_ack_post(packet)
+
+        if self.hpcc is not None:
+            self.hpcc.on_ack(packet, self.snd_next)
+
+        if self.recovery == "sack" and (
+            self.dupacks >= self.config.dupack_threshold or sacked
+        ):
+            self._detect_losses()
+
+        if self.is_all_acked():
+            self._complete()
+            return
+
+        self._schedule_send()
+        if self.tlt is not None:
+            self.tlt.after_ack()
+
+    def _on_nack(self, packet: Packet) -> None:
+        """Go-back-N: rewind to the receiver's expected PSN."""
+        expected = packet.ack
+        if expected > self.snd_una:
+            self._advance_una(expected)
+        if self.recovery == "gbn" and expected < self.snd_ptr:
+            self.snd_ptr = expected
+            if self.tlt_rate is not None and self.snd_max > expected:
+                self.tlt_rate.on_retx_round(expected, self.snd_max - 1)
+        self._restart_rto()
+        if self.is_all_acked():
+            self._complete()
+            return
+        self._schedule_send()
+
+    def _advance_una(self, ack: int) -> None:
+        now = self.engine.now
+        for psn in range(self.snd_una, min(ack, self.npkts)):
+            st = self.states[psn]
+            if st.in_pipe:
+                st.in_pipe = False
+                self.pipe -= self.payload_of(psn) + HEADER_BYTES
+            if not st.delivered and st.first_tx_ns >= 0:
+                st.delivered = True
+                self.stats.add_delivery_sample(now - st.first_tx_ns)
+            st.acked = True
+            st.lost = False
+            self._retx_inflight.discard(psn)
+        self.snd_una = ack
+        if self._scan_hint < ack:
+            self._scan_hint = ack
+
+    def _apply_sack(self, blocks) -> int:
+        if not blocks:
+            return 0
+        newly = 0
+        now = self.engine.now
+        for lo, hi in blocks:
+            if hi > self._highest_sacked:
+                self._highest_sacked = hi
+            for psn in range(max(lo, self.snd_una), min(hi, self.snd_max)):
+                st = self.states[psn]
+                if st.acked or st.sacked:
+                    continue
+                st.sacked = True
+                st.lost = False
+                if st.in_pipe:
+                    st.in_pipe = False
+                    self.pipe -= self.payload_of(psn) + HEADER_BYTES
+                if not st.delivered and st.first_tx_ns >= 0:
+                    st.delivered = True
+                    self.stats.add_delivery_sample(now - st.first_tx_ns)
+                self._retx_inflight.discard(psn)
+                newly += 1
+        return newly
+
+    def _detect_losses(self) -> None:
+        """Selective-mode loss detection, mirroring the byte-stream
+        sender: never-retransmitted holes below the highest SACK are
+        marked once (resolved-prefix scan); a retransmitted packet is
+        only re-marked after aging one SRTT (RACK-style) so in-flight
+        retransmissions are not spuriously re-sent on every ACK."""
+        now = self.engine.now
+        srtt = self.rto.srtt or self.config.base_rtt_ns
+        highest = self._highest_sacked
+        first = None
+        last = None
+
+        psn = max(self.snd_una, self._scan_hint)
+        while psn < min(highest, self.snd_max):
+            st = self.states[psn]
+            if not (st.acked or st.sacked or st.lost) and st.retx_count == 0:
+                self._mark_lost(psn)
+                if first is None:
+                    first = psn
+                last = psn
+            psn += 1
+        self._scan_hint = psn
+
+        if self.dupacks >= self.config.dupack_threshold and self.snd_una < self.snd_max:
+            st = self.states[self.snd_una]
+            if not (st.acked or st.sacked or st.lost):
+                if st.retx_count == 0 or st.last_tx_ns + srtt <= now:
+                    self._mark_lost(self.snd_una)
+                    if first is None:
+                        first = self.snd_una
+                    last = max(last, self.snd_una) if last is not None else self.snd_una
+
+        if self._retx_inflight:
+            for psn in list(self._retx_inflight):
+                st = self.states[psn]
+                if st.acked or st.sacked or st.lost:
+                    self._retx_inflight.discard(psn)
+                    continue
+                if psn < highest and st.last_tx_ns + srtt <= now:
+                    self._mark_lost(psn)
+                    if first is None or psn < first:
+                        first = psn
+                    if last is None or psn > last:
+                        last = psn
+
+        if first is not None:
+            self.stats.fast_retransmits += 1
+            if self.tlt_rate is not None:
+                self.tlt_rate.on_retx_round(first, last)
+        self._arm_rack_timer()
+
+    def _arm_rack_timer(self) -> None:
+        """RACK-style reorder timer: a retransmission below the highest
+        SACK whose re-marking is deferred by the aging rule must be
+        re-examined even if no further ACK ever arrives (all later
+        packets may already be delivered — silence otherwise lasts
+        until the full RTO)."""
+        if self.recovery != "sack" or not self._retx_inflight or self.completed:
+            return
+        if self._rack_event is not None:
+            return
+        srtt = self.rto.srtt or self.config.base_rtt_ns
+        self._rack_event = self.engine.schedule(srtt + 1, self._rack_fire)
+
+    def _rack_fire(self) -> None:
+        self._rack_event = None
+        if self.completed:
+            return
+        self._detect_losses()
+        self._schedule_send()
+        self._arm_rack_timer()
+
+    def _mark_lost(self, psn: int) -> None:
+        st = self.states[psn]
+        if st.lost or st.acked or st.sacked:
+            return
+        st.lost = True
+        if st.in_pipe:
+            st.in_pipe = False
+            self.pipe -= self.payload_of(psn) + HEADER_BYTES
+        self._retx_inflight.discard(psn)
+        self.lost_queue.append(psn)
+
+    # ------------------------------------------------------------- timers
+
+    def _arm_rto(self) -> None:
+        if self._rto_deadline is None:
+            self._restart_rto()
+
+    def _restart_rto(self) -> None:
+        self._rto_deadline = self.engine.now + self.rto.current
+        if self._rto_event is None:
+            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+
+    def _rto_fire(self) -> None:
+        self._rto_event = None
+        if self.completed or self._rto_deadline is None:
+            return
+        if self.engine.now < self._rto_deadline:
+            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+            return
+        if self.is_all_acked():
+            return
+        self._on_timeout()
+
+    def _on_timeout(self) -> None:
+        self.record.timeouts += 1
+        self.stats.timeouts += 1
+        self.rto.backoff()
+        self.dupacks = 0
+        first = None
+        last = None
+        if self.recovery == "gbn":
+            self.snd_ptr = self.snd_una
+            if self.snd_max > self.snd_una:
+                first, last = self.snd_una, self.snd_max - 1
+        else:
+            for psn in range(self.snd_una, self.snd_max):
+                st = self.states[psn]
+                if not (st.acked or st.sacked) and not st.lost:
+                    self._mark_lost(psn)
+                    if first is None:
+                        first = psn
+                    last = psn
+        if first is not None and self.tlt_rate is not None:
+            self.tlt_rate.on_retx_round(first, last)
+        self._rto_deadline = self.engine.now + self.rto.current
+        self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+        self._schedule_send()
+
+    # ------------------------------------------------------- TLT interface
+
+    def has_unrepaired_loss(self) -> bool:
+        while self.lost_queue:
+            psn = self.lost_queue[0]
+            st = self.states[psn]
+            if st.acked or st.sacked or not st.lost:
+                self.lost_queue.popleft()
+                continue
+            return True
+        return False
+
+    def mark_lost_sent_before(self, tx_time: int) -> int:
+        marked = 0
+        first = None
+        last = None
+        for psn in range(self.snd_una, self.snd_max):
+            st = self.states[psn]
+            if st.acked or st.sacked or st.lost:
+                continue
+            if 0 <= st.last_tx_ns <= tx_time and st.in_pipe:
+                self._mark_lost(psn)
+                marked += self.payload_of(psn)
+                if first is None:
+                    first = psn
+                last = psn
+        if first is not None:
+            self.stats.fast_retransmits += 1
+            if self.tlt_rate is not None:
+                self.tlt_rate.on_retx_round(first, last)
+        return marked
+
+    def try_send(self) -> None:
+        self._schedule_send()
+
+    def clock_retransmit(self) -> int:
+        """Important ACK-clocking for RoCE: inject the first lost (or
+        first unacked) packet immediately, bypassing window and pacing."""
+        psn = None
+        while self.lost_queue:
+            head = self.lost_queue[0]
+            st = self.states[head]
+            if st.acked or st.sacked or not st.lost:
+                self.lost_queue.popleft()
+                continue
+            psn = head
+            self.lost_queue.popleft()
+            break
+        if psn is None:
+            for cand in range(self.snd_una, self.snd_max):
+                st = self.states[cand]
+                if not (st.acked or st.sacked):
+                    psn = cand
+                    break
+        if psn is None:
+            return 0
+        self._transmit(psn, clock_mark=True)
+        return self.payload_of(psn)
+
+    def clock_one_byte(self) -> None:
+        """RoCE cannot segment a PSN — the minimal clocking unit is a
+        whole packet (documented substitution)."""
+        self.clock_retransmit()
+
+    # ------------------------------------------------------------- completion
+
+    def _complete(self) -> None:
+        if self.completed:
+            return
+        self.completed = True
+        self._rto_deadline = None
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self._send_event is not None:
+            self._send_event.cancel()
+            self._send_event = None
+        if self._rack_event is not None:
+            self._rack_event.cancel()
+            self._rack_event = None
+        if self.rate_ctrl is not None:
+            self.rate_ctrl.stop()
+        self.record.end_ack_ns = self.engine.now
+        self.record.final_rto_ns = self.rto.base_rto
+        self.record.final_srtt_ns = self.rto.srtt
+        if self.spec.on_complete_ack is not None:
+            self.spec.on_complete_ack(self.record)
+
+
+class RoceReceiver:
+    """PSN receiver: per-packet ACKs, go-back-N NACKs, CNP generation."""
+
+    def __init__(
+        self,
+        host: Host,
+        spec: FlowSpec,
+        config: TransportConfig,
+        stats: NetStats,
+        recovery: str = "sack",
+    ):
+        self.host = host
+        self.spec = spec
+        self.config = config
+        self.stats = stats
+        self.engine = host.engine
+        self.recovery = recovery
+        payload = config.packet_payload
+        self.npkts = max(1, -(-spec.size // payload))
+        self.buffer = ReceiverBuffer()
+        self.rcv_nxt = 0  # go-back-N cumulative pointer
+        self._nacked_at = -1
+        self._last_cnp_ns = -(1 << 60)
+        self.tlt_rx = None
+        self.done = False
+        host.register_endpoint(spec.flow_id, self)
+
+    @property
+    def record(self) -> Optional[FlowRecord]:
+        return self.stats.flows.get(self.spec.flow_id)
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind != PacketKind.DATA:
+            return
+        if self.tlt_rx is not None:
+            self.tlt_rx.on_data(packet)
+        self._maybe_cnp(packet)
+        if self.recovery == "gbn":
+            self._on_data_gbn(packet)
+        else:
+            self._on_data_sack(packet)
+
+    # -- go-back-N -------------------------------------------------------------
+
+    def _on_data_gbn(self, packet: Packet) -> None:
+        psn = packet.seq
+        if psn == self.rcv_nxt:
+            self.rcv_nxt += 1
+            self._nacked_at = -1
+            self._check_done()
+            self._send_ack(packet, self.rcv_nxt)
+        elif psn > self.rcv_nxt:
+            # Out-of-order: discard and NACK once per gap.
+            if self._nacked_at != self.rcv_nxt:
+                self._nacked_at = self.rcv_nxt
+                self._send_nack(self.rcv_nxt)
+        else:
+            self._send_ack(packet, self.rcv_nxt)  # duplicate
+
+    # -- selective -----------------------------------------------------------------
+
+    def _on_data_sack(self, packet: Packet) -> None:
+        self.buffer.on_data(packet.seq, 1)
+        self.rcv_nxt = self.buffer.rcv_nxt
+        self._check_done()
+        ack = self._make_ack(packet, self.buffer.rcv_nxt)
+        ack.sack = self.buffer.sack_blocks()
+        self._finish_ack(ack)
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _check_done(self) -> None:
+        if not self.done and self.rcv_nxt >= self.npkts:
+            self.done = True
+            record = self.record
+            if record is not None:
+                record.end_rx_ns = self.engine.now
+            if self.spec.on_complete_rx is not None:
+                self.spec.on_complete_rx(record)
+
+    def _make_ack(self, data_packet: Packet, ack_psn: int) -> Packet:
+        ack = Packet(
+            self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.ACK, ack=ack_psn
+        )
+        ack.ts_echo = data_packet.ts_sent
+        ack.tclass = self.config.traffic_class
+        ack.color = Color.GREEN
+        ack.mark = TltMark.CONTROL
+        if data_packet.int_records is not None:
+            ack.int_echo = data_packet.int_records
+        return ack
+
+    def _send_ack(self, data_packet: Packet, ack_psn: int) -> None:
+        self._finish_ack(self._make_ack(data_packet, ack_psn))
+
+    def _finish_ack(self, ack: Packet) -> None:
+        if self.tlt_rx is not None:
+            self.tlt_rx.mark_ack(ack)
+        self.host.send(ack)
+
+    def _send_nack(self, expected: int) -> None:
+        nack = Packet(
+            self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.NACK, ack=expected
+        )
+        nack.color = Color.GREEN
+        nack.mark = TltMark.CONTROL
+        self.host.send(nack)
+
+    def _maybe_cnp(self, packet: Packet) -> None:
+        if not packet.ce:
+            return
+        now = self.engine.now
+        if now - self._last_cnp_ns < self.config.cnp_interval_ns:
+            return
+        self._last_cnp_ns = now
+        cnp = Packet(self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.CNP)
+        cnp.color = Color.GREEN
+        cnp.mark = TltMark.CONTROL
+        self.host.send(cnp)
+
+
+def create_roce_flow(variant: str, net: Network, spec: FlowSpec, config: TransportConfig):
+    """Build a RoCE sender/receiver pair for ``variant``."""
+    bdp = config.link_rate_bps * config.base_rtt_ns // 8 // 1_000_000_000
+    if variant == "dcqcn":
+        kwargs = dict(recovery="gbn", use_dcqcn=True)
+        rto = config.rto_min_ns
+    elif variant == "dcqcn-sack":
+        kwargs = dict(recovery="sack", use_dcqcn=True)
+        rto = config.rto_min_ns
+    elif variant == "irn":
+        kwargs = dict(recovery="sack", use_dcqcn=True, window_cap_bytes=bdp)
+        rto = 1_930_000  # RTO_high recommended by IRN
+    elif variant == "hpcc":
+        kwargs = dict(recovery="sack", use_dcqcn=False, use_hpcc=True)
+        rto = config.rto_min_ns
+    else:
+        raise KeyError(f"unknown RoCE variant {variant!r}")
+    sender = RoceSender(net.host(spec.src), spec, config, net.stats, rto_ns=rto, **kwargs)
+    sender.name = variant
+    receiver = RoceReceiver(
+        net.host(spec.dst), spec, config, net.stats, recovery=kwargs["recovery"]
+    )
+    return sender, receiver

@@ -1,0 +1,79 @@
+"""Linux-style retransmission timeout estimation.
+
+``RTO = SRTT + max(G, 4 * RTTVAR)``, clamped to ``[rto_min, rto_max]``,
+with SRTT/RTTVAR EWMAs per RFC 6298 (gains 1/8 and 1/4) and exponential
+backoff on consecutive timeouts. All arithmetic is integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+from repro.sim.units import MICROS, MILLIS
+
+
+class RtoEstimator:
+    """Tracks SRTT/RTTVAR and produces the current RTO."""
+
+    __slots__ = ("rto_min", "rto_max", "granularity", "srtt", "rttvar", "backoff_count")
+
+    def __init__(
+        self,
+        rto_min: int = 4 * MILLIS,
+        rto_max: int = 1_000 * MILLIS,
+        granularity: int = 10 * MICROS,
+    ):
+        if rto_min <= 0 or rto_max < rto_min:
+            raise ValueError("invalid RTO bounds")
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.granularity = granularity
+        self.srtt = 0  # 0 means "no sample yet"
+        self.rttvar = 0
+        self.backoff_count = 0
+
+    def on_rtt_sample(self, rtt_ns: int) -> None:
+        """Feed one RTT measurement (Karn-safe samples only)."""
+        if rtt_ns <= 0:
+            rtt_ns = 1
+        if self.srtt == 0:
+            self.srtt = rtt_ns
+            self.rttvar = rtt_ns // 2
+        else:
+            delta = abs(self.srtt - rtt_ns)
+            self.rttvar += (delta - self.rttvar) // 4
+            self.srtt += (rtt_ns - self.srtt) // 8
+        self.backoff_count = 0
+
+    @property
+    def base_rto(self) -> int:
+        """RTO before backoff."""
+        if self.srtt == 0:
+            return self.rto_min  # conservative default before any sample
+        rto = self.srtt + max(self.granularity, 4 * self.rttvar)
+        return min(max(rto, self.rto_min), self.rto_max)
+
+    @property
+    def current(self) -> int:
+        """RTO including exponential backoff."""
+        rto = self.base_rto << self.backoff_count
+        return min(rto, self.rto_max)
+
+    def backoff(self) -> None:
+        """Double the RTO after a timeout (capped by rto_max)."""
+        if (self.base_rto << self.backoff_count) < self.rto_max:
+            self.backoff_count += 1
+
+
+class FixedRto(RtoEstimator):
+    """A static RTO (the 'aggressive fixed timeout' strawman of §2.2).
+
+    RTT samples are accepted (so transports can still report SRTT) but
+    never change the timeout; backoff still applies.
+    """
+
+    def __init__(self, rto_ns: int, rto_max: int = 1_000 * MILLIS):
+        super().__init__(rto_min=rto_ns, rto_max=rto_max)
+        self._fixed = rto_ns
+
+    @property
+    def base_rto(self) -> int:
+        return self._fixed

@@ -1,0 +1,19 @@
+"""TCP NewReno with SACK — the paper's "vanilla TCP" baseline.
+
+The behaviour lives in :class:`repro.transport.base.ByteStreamSender`;
+this subclass only pins the name and the default ECN setting (off).
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import ByteStreamReceiver, ByteStreamSender
+
+
+class TcpSender(ByteStreamSender):
+    """NewReno + SACK sender with dup-ACK threshold 1."""
+
+    name = "tcp"
+
+
+class TcpReceiver(ByteStreamReceiver):
+    """Standard byte-stream receiver (per-packet ACKs, SACK)."""

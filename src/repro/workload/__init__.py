@@ -1,0 +1,8 @@
+"""Traffic generation: flow-size distributions, Poisson background
+traffic and synchronized incast foreground traffic."""
+
+from repro.workload.distributions import DISTRIBUTIONS, EmpiricalCdf
+from repro.workload.background import BackgroundTraffic
+from repro.workload.incast import IncastTraffic
+
+__all__ = ["DISTRIBUTIONS", "EmpiricalCdf", "BackgroundTraffic", "IncastTraffic"]

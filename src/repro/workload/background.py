@@ -1,0 +1,82 @@
+"""Background traffic: Poisson arrivals over an empirical size CDF.
+
+Flows run between a uniformly random (sender, receiver) pair, as in the
+paper's simulation setup. The aggregate arrival rate is derived from
+the target load on host links:
+
+    lambda = load * num_hosts * link_rate / (8 * mean_flow_size)
+
+Transport objects are created lazily at each flow's start time so
+large flow populations don't allocate everything up front.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.topology import Network
+from repro.transport.base import FlowSpec
+
+
+class BackgroundTraffic:
+    """Schedules Poisson background flows on a network."""
+
+    def __init__(
+        self,
+        net: Network,
+        cdf,
+        create: Callable[[FlowSpec], None],
+        load: float = 0.4,
+        num_flows: int = 1000,
+        mean_size: Optional[float] = None,
+        link_rate_bps: int = 40_000_000_000,
+        hosts: Optional[List[int]] = None,
+        start_ns: int = 0,
+    ):
+        if not 0 < load < 1:
+            raise ValueError("load must be in (0, 1)")
+        self.net = net
+        self.cdf = cdf
+        self.create = create
+        self.load = load
+        self.num_flows = num_flows
+        self.hosts = hosts if hosts is not None else [h.host_id for h in net.hosts]
+        if len(self.hosts) < 2:
+            raise ValueError("need at least two hosts")
+        mean = mean_size if mean_size is not None else cdf.mean(samples=20_000)
+        rate_total = load * len(self.hosts) * link_rate_bps
+        self.lambda_per_ns = rate_total / (8 * mean) / 1e9  # arrivals per ns
+        self.start_ns = start_ns
+        self.window_ns = int(num_flows / self.lambda_per_ns) if self.lambda_per_ns > 0 else 0
+        self.specs: List[FlowSpec] = []
+
+    def schedule(self) -> List[FlowSpec]:
+        """Draw all arrivals and schedule lazy flow creation events."""
+        rng_arrival = self.net.rng.stream("bg_arrival")
+        rng_size = self.net.rng.stream("bg_size")
+        rng_pair = self.net.rng.stream("bg_pair")
+        engine = self.net.engine
+        t = float(self.start_ns)
+        for _ in range(self.num_flows):
+            t += rng_arrival.expovariate(self.lambda_per_ns)
+            src = rng_pair.choice(self.hosts)
+            dst = rng_pair.choice(self.hosts)
+            while dst == src:
+                dst = rng_pair.choice(self.hosts)
+            spec = FlowSpec(
+                flow_id=self.net.new_flow_id(),
+                src=src,
+                dst=dst,
+                size=self.cdf.sample(rng_size),
+                start_ns=int(t),
+                group="bg",
+            )
+            self.specs.append(spec)
+            engine.schedule_at(spec.start_ns, self.create, spec)
+        return self.specs
+
+    @property
+    def end_of_arrivals_ns(self) -> int:
+        if not self.specs:
+            return self.start_ns
+        return self.specs[-1].start_ns

@@ -1,0 +1,97 @@
+"""Foreground traffic: synchronized incast bursts (on/off arrival).
+
+Each incast event makes every sender host open ``flows_per_sender``
+flows of ``flow_size`` bytes toward a single receiver simultaneously —
+the paper's model of user-facing fan-in (95 senders x 8 flows x 8 kB at
+paper scale). The event frequency is derived from the desired share of
+total traffic volume taken by foreground flows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.topology import Network
+from repro.transport.base import FlowSpec
+
+
+class IncastTraffic:
+    """Schedules periodic synchronized incast bursts."""
+
+    def __init__(
+        self,
+        net: Network,
+        create: Callable[[FlowSpec], None],
+        flow_size: int = 8_000,
+        flows_per_sender: int = 8,
+        num_events: int = 10,
+        interval_ns: int = 10_000_000,
+        receiver: Optional[int] = None,
+        senders: Optional[List[int]] = None,
+        start_ns: int = 1_000_000,
+        jitter_ns: int = 0,
+    ):
+        self.net = net
+        self.create = create
+        self.flow_size = flow_size
+        self.flows_per_sender = flows_per_sender
+        self.num_events = num_events
+        self.interval_ns = interval_ns
+        self.receiver = receiver
+        self.senders = senders
+        self.start_ns = start_ns
+        self.jitter_ns = jitter_ns
+        self.specs: List[FlowSpec] = []
+
+    @staticmethod
+    def volume_per_event(flow_size: int, flows_per_sender: int, num_senders: int) -> int:
+        return flow_size * flows_per_sender * num_senders
+
+    @classmethod
+    def interval_for_share(
+        cls,
+        fg_share: float,
+        bg_load: float,
+        num_hosts: int,
+        link_rate_bps: int,
+        flow_size: int,
+        flows_per_sender: int,
+        num_senders: int,
+    ) -> int:
+        """Incast period that makes foreground traffic ``fg_share`` of
+        the total volume, given background load ``bg_load``."""
+        if not 0 < fg_share < 1:
+            raise ValueError("fg_share must be in (0, 1)")
+        bg_bytes_per_ns = bg_load * num_hosts * link_rate_bps / 8 / 1e9
+        # fg / (fg + bg) = fg_share  =>  fg_rate = bg_rate * share/(1-share)
+        fg_bytes_per_ns = bg_bytes_per_ns * fg_share / (1 - fg_share)
+        event_bytes = cls.volume_per_event(flow_size, flows_per_sender, num_senders)
+        return max(1, int(event_bytes / fg_bytes_per_ns))
+
+    def schedule(self) -> List[FlowSpec]:
+        rng = self.net.rng.stream("incast")
+        engine = self.net.engine
+        all_hosts = [h.host_id for h in self.net.hosts]
+        t = self.start_ns
+        for _ in range(self.num_events):
+            receiver = (
+                self.receiver if self.receiver is not None else rng.choice(all_hosts)
+            )
+            senders = self.senders or [h for h in all_hosts if h != receiver]
+            for src in senders:
+                if src == receiver:
+                    continue
+                for _ in range(self.flows_per_sender):
+                    jitter = rng.randrange(self.jitter_ns + 1) if self.jitter_ns else 0
+                    spec = FlowSpec(
+                        flow_id=self.net.new_flow_id(),
+                        src=src,
+                        dst=receiver,
+                        size=self.flow_size,
+                        start_ns=t + jitter,
+                        group="fg",
+                    )
+                    self.specs.append(spec)
+                    engine.schedule_at(spec.start_ns, self.create, spec)
+            t += self.interval_ns
+        return self.specs

@@ -1,0 +1,108 @@
+"""Tests for the RPC / KV-store / web-tier application layer."""
+
+from repro.apps.kvstore import KvClient, KvServer
+from repro.apps.rpc import RpcNode
+from repro.apps.webtier import WebTier
+from repro.core.config import TltConfig
+from repro.transport.base import TransportConfig
+
+from tests.util import small_star
+
+
+def cfg():
+    return TransportConfig(base_rtt_ns=4_000)
+
+
+def test_rpc_message_delivery_triggers_handler():
+    net = small_star()
+    a = RpcNode(net, 0, "tcp", cfg())
+    b = RpcNode(net, 1, "tcp", cfg())
+    got = []
+    b.on_message(lambda src, size, meta: got.append((src, size, meta)))
+    a.send(b, 5_000, meta={"tag": "hello"})
+    net.engine.run()
+    assert got == [(0, 5_000, {"tag": "hello"})]
+    assert b.messages_received == 1
+
+
+def test_rpc_delayed_send():
+    net = small_star()
+    a = RpcNode(net, 0, "tcp", cfg())
+    b = RpcNode(net, 1, "tcp", cfg())
+    times = []
+    b.on_message(lambda *args: times.append(net.engine.now))
+    a.send(b, 1_000, delay_ns=1_000_000)
+    net.engine.run()
+    assert times and times[0] >= 1_000_000
+
+
+def test_kv_set_and_get_roundtrip():
+    net = small_star()
+    server = KvServer(RpcNode(net, 0, "tcp", cfg()))
+    client = KvClient(RpcNode(net, 1, "tcp", cfg()), server)
+    client.set("k", 32_000)
+    net.engine.run()
+    assert server.store["k"] == 32_000
+    assert len(client.response_times) == 1
+    assert client.outstanding == 0
+
+    client.get("k")
+    net.engine.run()
+    assert len(client.response_times) == 2
+
+
+def test_kv_get_missing_key_replies():
+    net = small_star()
+    server = KvServer(RpcNode(net, 0, "tcp", cfg()))
+    client = KvClient(RpcNode(net, 1, "tcp", cfg()), server)
+    client.get("missing")
+    net.engine.run()
+    assert len(client.response_times) == 1
+
+
+def test_kv_reply_callback():
+    net = small_star()
+    server = KvServer(RpcNode(net, 0, "tcp", cfg()))
+    client = KvClient(RpcNode(net, 1, "tcp", cfg()), server)
+    done = []
+    client.set("k", 1_000, on_reply=done.append)
+    net.engine.run()
+    assert done == [0]
+
+
+def test_kv_set_response_time_scales_with_value():
+    net = small_star()
+    server = KvServer(RpcNode(net, 0, "tcp", cfg()))
+    client = KvClient(RpcNode(net, 1, "tcp", cfg()), server)
+    client.set("small", 1_000)
+    net.engine.run()
+    client.set("big", 500_000)
+    net.engine.run()
+    assert client.response_times[1] > client.response_times[0]
+
+
+def test_webtier_all_requests_answered():
+    net = small_star(num_hosts=10)
+    tier = WebTier(net, "dctcp", cfg(), num_web_servers=8, value_size=32_000)
+    tier.issue_requests(24)
+    net.engine.run(until=5_000_000_000)
+    assert tier.outstanding == 0
+    assert len(tier.result.response_times_ns) == 24
+    assert tier.result.p99_ms() > 0
+
+
+def test_webtier_with_tlt_no_timeouts_under_fanin():
+    net = small_star(num_hosts=10, buffer_bytes=400_000, color_threshold_bytes=100_000)
+    tier = WebTier(net, "dctcp", cfg(), tlt=TltConfig(), num_web_servers=8)
+    tier.issue_requests(64)
+    net.engine.run(until=5_000_000_000)
+    assert tier.outstanding == 0
+    assert net.stats.timeouts == 0
+
+
+def test_webtier_requires_enough_hosts():
+    import pytest
+
+    net = small_star(num_hosts=4)
+    with pytest.raises(ValueError):
+        WebTier(net, "tcp", cfg(), num_web_servers=8)

@@ -1,0 +1,88 @@
+"""Tests for the shared-buffer MMU and dynamic thresholds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.switchsim.buffer import SharedBuffer
+
+
+def test_dynamic_threshold_shrinks_with_occupancy():
+    buf = SharedBuffer(1000, alpha=1.0)
+    assert buf.dynamic_threshold() == 1000
+    buf.reserve(400)
+    assert buf.dynamic_threshold() == 600
+
+
+def test_alpha_one_limits_single_queue_to_half():
+    # With alpha=1, a single hot queue converges to B/2: at occupancy
+    # q the threshold is B - q, so admission stops when q >= B - q.
+    buf = SharedBuffer(1_000_000, alpha=1.0)
+    queue = 0
+    while buf.admits(queue, 1500):
+        buf.reserve(1500)
+        queue += 1500
+    assert abs(queue - 500_000) < 3000
+
+
+def test_admits_respects_total_capacity():
+    buf = SharedBuffer(1000, alpha=8.0)
+    buf.reserve(900)
+    assert not buf.admits(0, 200)
+    assert buf.admits(0, 100)
+
+
+def test_small_alpha_is_stricter():
+    buf = SharedBuffer(1000, alpha=0.25)
+    assert buf.admits(200, 100)
+    buf.reserve(200)
+    assert not buf.admits(200, 100)  # threshold = 0.25*800 = 200
+
+
+def test_release_returns_capacity():
+    buf = SharedBuffer(1000)
+    buf.reserve(600)
+    buf.release(600)
+    assert buf.used == 0
+    assert buf.free == 1000
+
+
+def test_overcommit_raises():
+    buf = SharedBuffer(100)
+    with pytest.raises(AssertionError):
+        buf.reserve(200)
+
+
+def test_underrun_raises():
+    buf = SharedBuffer(100)
+    with pytest.raises(AssertionError):
+        buf.release(1)
+
+
+def test_peak_tracking():
+    buf = SharedBuffer(1000)
+    buf.reserve(700)
+    buf.release(500)
+    buf.reserve(100)
+    assert buf.peak_used == 700
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        SharedBuffer(0)
+    with pytest.raises(ValueError):
+        SharedBuffer(100, alpha=0)
+
+
+@given(
+    ops=st.lists(st.integers(min_value=1, max_value=2000), max_size=60),
+    alpha=st.floats(min_value=0.1, max_value=8.0),
+)
+def test_property_used_never_exceeds_capacity(ops, alpha):
+    """Admission-checked reserves can never overcommit the pool."""
+    buf = SharedBuffer(10_000, alpha=alpha)
+    queue = 0
+    for size in ops:
+        if buf.admits(queue, size):
+            buf.reserve(size)
+            queue += size
+        assert 0 <= buf.used <= buf.capacity

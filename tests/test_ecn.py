@@ -1,0 +1,46 @@
+"""Tests for ECN marking schemes."""
+
+import random
+
+import pytest
+
+from repro.switchsim.ecn import RedEcn, StepEcn
+
+
+def test_step_marks_above_threshold_only():
+    ecn = StepEcn(200_000)
+    assert not ecn.should_mark(200_000)
+    assert ecn.should_mark(200_001)
+    assert not ecn.should_mark(0)
+
+
+def test_step_rejects_nonpositive_threshold():
+    with pytest.raises(ValueError):
+        StepEcn(0)
+
+
+def test_red_never_marks_below_kmin():
+    ecn = RedEcn(5_000, 200_000, 0.01, random.Random(1))
+    assert not any(ecn.should_mark(4_999) for _ in range(1000))
+
+
+def test_red_always_marks_above_kmax():
+    ecn = RedEcn(5_000, 200_000, 0.01, random.Random(1))
+    assert all(ecn.should_mark(200_000) for _ in range(100))
+
+
+def test_red_probability_scales_linearly():
+    ecn = RedEcn(0, 100_000, 1.0, random.Random(42))
+    n = 20_000
+    marks = sum(ecn.should_mark(50_000) for _ in range(n))
+    assert abs(marks / n - 0.5) < 0.02  # P should be ~0.5 at midpoint
+
+
+def test_red_param_validation():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        RedEcn(10, 5, 0.01, rng)
+    with pytest.raises(ValueError):
+        RedEcn(0, 10, 0.0, rng)
+    with pytest.raises(ValueError):
+        RedEcn(0, 10, 1.5, rng)

@@ -1,0 +1,140 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, order.append, "c")
+    engine.schedule(10, order.append, "a")
+    engine.schedule(20, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_scheduling_order():
+    engine = Engine()
+    order = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(5, order.append, tag)
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(100, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [100]
+    assert engine.now == 100
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(50, fired.append, 1)
+    engine.schedule(150, fired.append, 2)
+    engine.run(until=100)
+    assert fired == [1]
+    engine.run()
+    assert fired == [1, 2]
+
+
+def test_run_until_advances_clock_when_queue_drains():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run(until=500)
+    assert engine.now == 500
+
+
+def test_cancelled_event_is_skipped():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(10, fired.append, "x")
+    event.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    event = engine.schedule(10, lambda: None)
+    event.cancel()
+    event.cancel()
+    engine.run()
+
+
+def test_cannot_schedule_in_the_past():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_events_can_schedule_events():
+    engine = Engine()
+    result = []
+
+    def chain(n):
+        result.append(n)
+        if n < 5:
+            engine.schedule(10, chain, n + 1)
+
+    engine.schedule(0, chain, 1)
+    engine.run()
+    assert result == [1, 2, 3, 4, 5]
+    assert engine.now == 40
+
+
+def test_step_processes_single_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(1, fired.append, "a")
+    engine.schedule(2, fired.append, "b")
+    assert engine.step()
+    assert fired == ["a"]
+    assert engine.step()
+    assert not engine.step()
+
+
+def test_max_events_limit():
+    engine = Engine()
+    fired = []
+    for i in range(10):
+        engine.schedule(i, fired.append, i)
+    engine.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_peek_time_skips_cancelled():
+    engine = Engine()
+    first = engine.schedule(5, lambda: None)
+    engine.schedule(9, lambda: None)
+    first.cancel()
+    assert engine.peek_time() == 9
+
+
+def test_events_processed_counter():
+    engine = Engine()
+    for i in range(4):
+        engine.schedule(i, lambda: None)
+    engine.run()
+    assert engine.events_processed == 4
+
+
+def test_engine_is_not_reentrant():
+    engine = Engine()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    engine.schedule(0, nested)
+    engine.run()

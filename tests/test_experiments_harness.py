@@ -1,0 +1,61 @@
+"""Tests for the experiment harness (tables, averaging, CLI, registry)."""
+
+import importlib
+
+import pytest
+
+from repro.experiments.common import format_table, resolve_scale, run_averaged
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.experiments.scale import SCALES, Scale
+from repro.experiments.scenarios import ScenarioConfig
+
+
+def test_format_table_alignment_and_rounding():
+    rows = [{"a": 1.23456789, "b": "x"}, {"a": 10.0, "b": "longer"}]
+    text = format_table(rows, ["a", "b"], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.235" in text  # 4 significant digits
+    assert "longer" in text
+
+
+def test_format_table_missing_keys_blank():
+    text = format_table([{"a": 1}], ["a", "b"])
+    assert "b" in text  # header present even when values missing
+
+
+def test_resolve_scale_accepts_names_and_objects():
+    assert resolve_scale("tiny") is SCALES["tiny"]
+    custom = Scale("x", 1, 2, 2, 5, 1, 1)
+    assert resolve_scale(custom) is custom
+    with pytest.raises(KeyError):
+        resolve_scale("gigantic")
+
+
+def test_run_averaged_reports_mean_and_std():
+    fast = Scale("fast", 1, 2, 2, 6, 1, 2)
+    config = ScenarioConfig(transport="dctcp", scale=fast)
+    row = run_averaged(config, seeds=(1, 2))
+    assert "fg_p99_ms" in row
+    assert "fg_p99_ms_std" in row
+
+
+def test_registry_covers_every_figure_and_table():
+    figs = {f"fig{n:02d}" for n in (1, 2, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18)}
+    assert figs.issubset(EXPERIMENTS)
+    assert "table1" in EXPERIMENTS
+
+
+def test_every_experiment_module_importable_with_run_and_main():
+    for module_name in EXPERIMENTS.values():
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "run")
+        assert hasattr(module, "main")
+
+
+def test_cli_list():
+    assert main(["list"]) == 0
+
+
+def test_cli_unknown_experiment():
+    assert main(["fig99"]) == 2

@@ -1,0 +1,146 @@
+"""Tests for ports/links: serialization, propagation, FIFO, pause."""
+
+from repro.net.link import connect
+from repro.net.node import Device, Host
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Engine
+from repro.sim.units import GBPS
+
+
+class Source(Device):
+    """Device with a scripted packet list."""
+
+    def __init__(self, engine):
+        super().__init__(engine, "src")
+        self.queue = []
+
+    def poll(self, port):
+        return self.queue.pop(0) if self.queue else None
+
+    def receive(self, packet, in_port):
+        pass
+
+    def push(self, packet):
+        self.queue.append(packet)
+        self.ports[0].kick()
+
+
+class Sink(Device):
+    def __init__(self, engine):
+        super().__init__(engine, "sink")
+        self.received = []
+
+    def poll(self, port):
+        return None
+
+    def receive(self, packet, in_port):
+        self.received.append((self.engine.now, packet))
+
+
+def make_pair(rate=40 * GBPS, delay=1000):
+    engine = Engine()
+    src = Source(engine)
+    sink = Sink(engine)
+    connect(src.add_port(rate, delay), sink.add_port(rate, delay))
+    return engine, src, sink
+
+
+def _pkt(seq=0, payload=1452):
+    return Packet(1, 0, 1, PacketKind.DATA, seq=seq, payload=payload)
+
+
+def test_delivery_time_is_serialization_plus_propagation():
+    engine, src, sink = make_pair()
+    src.push(_pkt())  # 1500 B wire size -> 300 ns at 40G, +1000 ns prop
+    engine.run()
+    assert [t for t, _ in sink.received] == [1300]
+
+
+def test_back_to_back_packets_serialize_sequentially():
+    engine, src, sink = make_pair()
+    src.push(_pkt(seq=0))
+    src.push(_pkt(seq=1))
+    engine.run()
+    times = [t for t, _ in sink.received]
+    assert times == [1300, 1600]  # second waits one serialization time
+
+
+def test_fifo_order_preserved():
+    engine, src, sink = make_pair()
+    for seq in range(5):
+        src.push(_pkt(seq=seq))
+    engine.run()
+    assert [p.seq for _, p in sink.received] == list(range(5))
+
+
+def test_tx_counters():
+    engine, src, sink = make_pair()
+    src.push(_pkt())
+    engine.run()
+    port = src.ports[0]
+    assert port.tx_packets == 1
+    assert port.tx_bytes == 1500
+
+
+def test_pause_blocks_transmission():
+    engine, src, sink = make_pair()
+    port = src.ports[0]
+    port.apply_pause(10_000)
+    src.push(_pkt())
+    engine.run(until=5_000)
+    assert sink.received == []
+    engine.run()
+    # Released at t=10_000, arrives 1300 ns later.
+    assert [t for t, _ in sink.received] == [11_300]
+
+
+def test_resume_frame_unpauses_early():
+    engine, src, sink = make_pair()
+    port = src.ports[0]
+    port.apply_pause(1_000_000)
+    src.push(_pkt())
+    engine.schedule(2_000, port.apply_pause, 0)  # explicit RESUME
+    engine.run()
+    assert [t for t, _ in sink.received] == [3_300]
+
+
+def test_paused_time_accounted():
+    engine, src, sink = make_pair()
+    port = src.ports[0]
+    port.apply_pause(5_000)
+    engine.run()
+    assert port.paused_ns == 5_000
+    assert not port.paused
+
+
+def test_pause_extension_replaces_timer():
+    engine, src, sink = make_pair()
+    port = src.ports[0]
+    port.apply_pause(1_000)
+    engine.schedule(500, port.apply_pause, 2_000)  # re-pause extends
+    src.push(_pkt())
+    engine.run()
+    assert [t for t, _ in sink.received] == [2_500 + 1300]
+
+
+def test_send_pause_reaches_peer_port():
+    engine = Engine()
+    a = Source(engine)
+    b = Sink(engine)
+    pa = a.add_port(40 * GBPS, 1000)
+    pb = b.add_port(40 * GBPS, 1000)
+    connect(pa, pb)
+    pa.send_pause(7_000)
+    engine.run()
+    assert pb.pause_frames_rx == 1
+    # b's port was paused for 7 us.
+    assert pb.paused_ns == 7_000
+
+
+def test_in_flight_packet_not_recalled_by_pause():
+    engine, src, sink = make_pair()
+    src.push(_pkt())
+    engine.run(until=100)  # serialization started
+    src.ports[0].apply_pause(50_000)
+    engine.run()
+    assert len(sink.received) == 1  # the packet still arrives

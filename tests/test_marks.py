@@ -1,0 +1,63 @@
+"""Tests for the TLT mark→color ACL and packet metadata."""
+
+from repro.core.marks import apply_acl, color_for_mark
+from repro.net.packet import (
+    ACK_BYTES,
+    CNP_BYTES,
+    Color,
+    HEADER_BYTES,
+    IntRecord,
+    Packet,
+    PacketKind,
+    TltMark,
+)
+
+
+def test_important_marks_map_to_green():
+    for mark in (
+        TltMark.IMPORTANT_DATA,
+        TltMark.IMPORTANT_ECHO,
+        TltMark.IMPORTANT_CLOCK_DATA,
+        TltMark.IMPORTANT_CLOCK_ECHO,
+        TltMark.CONTROL,
+    ):
+        assert color_for_mark(mark) == Color.GREEN
+
+
+def test_unmarked_data_maps_to_red():
+    assert color_for_mark(TltMark.NONE) == Color.RED
+
+
+def test_apply_acl_stamps_color():
+    pkt = Packet(1, 0, 1, PacketKind.DATA, payload=100)
+    pkt.mark = TltMark.IMPORTANT_DATA
+    apply_acl(pkt)
+    assert pkt.color == Color.GREEN
+    pkt.mark = TltMark.NONE
+    apply_acl(pkt)
+    assert pkt.color == Color.RED
+
+
+def test_data_packet_wire_size():
+    pkt = Packet(1, 0, 1, PacketKind.DATA, payload=1000)
+    assert pkt.size == 1000 + HEADER_BYTES
+
+
+def test_control_packet_sizes():
+    assert Packet(1, 0, 1, PacketKind.ACK).size == ACK_BYTES
+    assert Packet(1, 0, 1, PacketKind.NACK).size == ACK_BYTES
+    assert Packet(1, 0, 1, PacketKind.CNP).size == CNP_BYTES
+
+
+def test_explicit_size_override():
+    pkt = Packet(1, 0, 1, PacketKind.DATA, payload=10, size=99)
+    assert pkt.size == 99
+
+
+def test_int_record_accumulation():
+    pkt = Packet(1, 0, 1, PacketKind.DATA, payload=10)
+    assert pkt.int_records is None
+    pkt.add_int_record(IntRecord(100, 200, 300, 400))
+    pkt.add_int_record(IntRecord(1, 2, 3, 4))
+    assert len(pkt.int_records) == 2
+    assert pkt.int_records[0].qlen == 100

@@ -1,0 +1,71 @@
+"""Assorted unit tests: PFC config resolution, Poisson statistics,
+DCQCN byte counter, engine RNG registry reuse."""
+
+import statistics
+
+from repro.net.topology import star
+from repro.sim.engine import Engine
+from repro.switchsim.pfc import PfcConfig
+from repro.transport.base import TransportConfig
+from repro.transport.dcqcn import DcqcnRateControl
+from repro.workload.background import BackgroundTraffic
+from repro.workload.distributions import WEB_SERVER
+
+
+def test_pfc_xoff_resolution_explicit():
+    assert PfcConfig(xoff_bytes=12345).resolved_xoff(1_000_000, 10) == 12345
+
+
+def test_pfc_xoff_resolution_derived():
+    # Half the pool split across ports, floored at ~2 MTUs.
+    assert PfcConfig().resolved_xoff(1_200_000, 12) == 50_000
+    assert PfcConfig().resolved_xoff(10_000, 12) == 3_000
+
+
+def test_poisson_interarrival_mean_matches_lambda():
+    net = star(num_hosts=6)
+    bg = BackgroundTraffic(net, WEB_SERVER, lambda s: None, load=0.4, num_flows=400)
+    specs = bg.schedule()
+    gaps = [b.start_ns - a.start_ns for a, b in zip(specs, specs[1:])]
+    measured = statistics.fmean(gaps)
+    expected = 1.0 / bg.lambda_per_ns
+    assert abs(measured - expected) / expected < 0.25  # 400 samples
+
+
+def test_dcqcn_byte_counter_triggers_increase():
+    engine = Engine()
+    config = TransportConfig(base_rtt_ns=4_000, dcqcn_byte_counter=10_000)
+    rc = DcqcnRateControl(engine, config)
+    rc.start()
+    rc.on_cnp()
+    rate_after_cut = rc.rc
+    # Push a byte-counter's worth of traffic: fast-recovery increase.
+    rc.on_bytes_sent(10_000)
+    assert rc.byte_stage == 1
+    assert rc.rc > rate_after_cut
+    rc.stop()
+
+
+def test_dcqcn_inactive_counter_ignored():
+    engine = Engine()
+    rc = DcqcnRateControl(engine, TransportConfig(base_rtt_ns=4_000))
+    rc.on_bytes_sent(100_000_000)  # not started: must not blow up
+    assert rc.byte_stage == 0
+
+
+def test_min_rate_floor_respected():
+    engine = Engine()
+    config = TransportConfig(base_rtt_ns=4_000)
+    rc = DcqcnRateControl(engine, config)
+    rc.start()
+    for _ in range(50):
+        rc.on_cnp()
+    assert rc.rc >= config.min_rate_bps
+    rc.stop()
+
+
+def test_network_flow_ids_monotonic():
+    net = star(num_hosts=2)
+    ids = [net.new_flow_id() for _ in range(5)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5

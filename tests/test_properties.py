@@ -1,0 +1,126 @@
+"""Property-based robustness tests (hypothesis).
+
+The central liveness invariant of a reliable transport: *any* finite
+pattern of congestion losses must still end with the flow completing
+(via SACK recovery, TLT clocking or, in the worst case, the RTO).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import TltConfig
+from repro.net.packet import Color, PacketKind
+from repro.sim.engine import Engine
+from repro.transport.base import FlowSpec, TransportConfig
+from repro.transport.registry import create_flow
+
+from tests.util import small_star
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class RandomLoss:
+    """Drop data packets by index according to a fixed pattern."""
+
+    def __init__(self, switch, drop_indices, red_only=False):
+        self.drop_indices = set(drop_indices)
+        self.red_only = red_only
+        self.count = 0
+        self.dropped = 0
+        original = switch.receive
+
+        def tapped(packet, in_port):
+            if packet.kind == PacketKind.DATA:
+                index = self.count
+                self.count += 1
+                if index in self.drop_indices and (
+                    not self.red_only or packet.color == Color.RED
+                ):
+                    self.dropped += 1
+                    return
+            original(packet, in_port)
+
+        switch.receive = tapped
+
+
+@SLOW
+@given(
+    drops=st.sets(st.integers(0, 40), max_size=12),
+    size=st.integers(1, 60_000),
+)
+def test_tcp_completes_under_any_loss_pattern(drops, size):
+    net = small_star()
+    RandomLoss(net.switches[0], drops)
+    spec = FlowSpec(flow_id=net.new_flow_id(), src=0, dst=1, size=size)
+    create_flow("tcp", net, spec, TransportConfig(base_rtt_ns=4_000))
+    net.engine.run(until=60_000_000_000)
+    record = net.stats.flows[spec.flow_id]
+    assert record.completed
+    assert record.end_rx_ns is not None
+
+
+@SLOW
+@given(
+    drops=st.sets(st.integers(0, 40), max_size=12),
+    size=st.integers(1, 60_000),
+)
+def test_tlt_dctcp_completes_and_red_losses_cause_no_timeout(drops, size):
+    """Red-only losses must never trigger a timeout under TLT."""
+    net = small_star()
+    RandomLoss(net.switches[0], drops, red_only=True)
+    spec = FlowSpec(flow_id=net.new_flow_id(), src=0, dst=1, size=size)
+    create_flow("dctcp", net, spec, TransportConfig(base_rtt_ns=4_000), TltConfig())
+    net.engine.run(until=60_000_000_000)
+    record = net.stats.flows[spec.flow_id]
+    assert record.completed
+    assert record.timeouts == 0
+
+
+@SLOW
+@given(
+    drops=st.sets(st.integers(0, 40), max_size=10),
+    variant=st.sampled_from(["dcqcn", "dcqcn-sack", "irn"]),
+)
+def test_roce_completes_under_any_loss_pattern(drops, variant):
+    net = small_star()
+    RandomLoss(net.switches[0], drops)
+    spec = FlowSpec(flow_id=net.new_flow_id(), src=0, dst=1, size=30_000)
+    create_flow(variant, net, spec, TransportConfig(base_rtt_ns=4_000))
+    net.engine.run(until=60_000_000_000)
+    record = net.stats.flows[spec.flow_id]
+    assert record.completed
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 100)), max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_engine_never_runs_backwards(events):
+    engine = Engine()
+    seen = []
+    for delay, _tag in events:
+        engine.schedule(delay, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == sorted(seen)
+
+
+@SLOW
+@given(seed=st.integers(0, 2**16))
+def test_random_bidirectional_flows_all_complete(seed):
+    """A random mesh of flows (both families' worth of sizes) completes."""
+    rng = random.Random(seed)
+    net = small_star(num_hosts=5)
+    specs = []
+    for _ in range(6):
+        src, dst = rng.sample(range(5), 2)
+        spec = FlowSpec(
+            flow_id=net.new_flow_id(), src=src, dst=dst,
+            size=rng.randint(1, 80_000), start_ns=rng.randint(0, 100_000),
+        )
+        create_flow("tcp", net, spec, TransportConfig(base_rtt_ns=4_000))
+        specs.append(spec)
+    net.engine.run(until=30_000_000_000)
+    assert all(net.stats.flows[s.flow_id].completed for s in specs)

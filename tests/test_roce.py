@@ -1,0 +1,219 @@
+"""Behavioral tests for the RoCE family (DCQCN, go-back-N, IRN, HPCC)."""
+
+from repro.net.packet import PacketKind
+from repro.sim.units import MILLIS
+from repro.switchsim.ecn import RedEcn
+from repro.transport.base import FlowSpec, TransportConfig
+from repro.transport.dcqcn import DcqcnRateControl
+from repro.transport.registry import create_flow
+from repro.sim.engine import Engine
+
+from tests.util import DropFilter, run_flow, small_star
+
+import random
+
+
+def roce_config(**kw):
+    kw.setdefault("base_rtt_ns", 4_000)
+    return TransportConfig(**kw)
+
+
+def test_dcqcn_flow_completes():
+    net = small_star()
+    _, _, record = run_flow(net, "dcqcn", size=100_000, config=roce_config())
+    assert record.completed
+    assert record.timeouts == 0
+
+
+def test_all_roce_variants_complete():
+    for name in ("dcqcn", "dcqcn-sack", "irn", "hpcc"):
+        net = small_star(int_enabled=True)
+        _, _, record = run_flow(net, name, size=50_000, config=roce_config())
+        assert record.completed, name
+
+
+def test_gbn_receiver_nacks_out_of_order():
+    net = small_star()
+    nacks = []
+    switch = net.switches[0]
+    original = switch.receive
+
+    def tap(packet, in_port):
+        if packet.kind == PacketKind.NACK:
+            nacks.append(packet)
+        original(packet, in_port)
+
+    switch.receive = tap
+    drop = DropFilter(switch)
+    drop.drop_seq_once(3)
+    _, _, record = run_flow(net, "dcqcn", size=50_000, config=roce_config())
+    assert record.completed
+    assert nacks
+    assert nacks[0].ack == 3  # expected PSN
+
+
+def test_gbn_retransmits_everything_from_hole():
+    """Go-back-N resends the hole and everything after it."""
+    net = small_star()
+    drop = DropFilter(net.switches[0])
+    drop.drop_seq_once(3)
+    _, _, record = run_flow(net, "dcqcn", size=50_000, config=roce_config())
+    # 50 packets; losing PSN 3 rewinds, so retx covers >1 packet.
+    assert record.retx_bytes > 1_000
+
+
+def test_sack_mode_retransmits_only_hole():
+    net = small_star()
+    drop = DropFilter(net.switches[0])
+    drop.drop_seq_once(3)
+    _, _, record = run_flow(net, "dcqcn-sack", size=50_000, config=roce_config())
+    assert record.completed
+    assert record.timeouts == 0
+    assert record.retx_bytes == 1_000  # exactly one packet
+
+
+def test_tail_loss_needs_timeout_without_tlt():
+    net = small_star()
+    drop = DropFilter(net.switches[0])
+    drop.drop_once(lambda p: p.kind == PacketKind.DATA and p.seq == 49)
+    _, _, record = run_flow(net, "dcqcn", size=50_000, config=roce_config())
+    assert record.completed
+    assert record.timeouts >= 1
+    assert record.fct_ns > 4 * MILLIS  # static 4 ms RoCE RTO
+
+
+def test_irn_window_capped_at_bdp():
+    net = small_star()
+    config = roce_config()
+    spec = FlowSpec(flow_id=net.new_flow_id(), src=0, dst=1, size=500_000)
+    sender, _ = create_flow("irn", net, spec, config)
+    bdp = config.link_rate_bps * config.base_rtt_ns // 8 // 1_000_000_000
+    assert sender.window_cap_bytes == bdp
+    max_pipe = [0]
+    original = sender._transmit
+
+    def spy(psn, clock_mark=False):
+        original(psn, clock_mark)
+        max_pipe[0] = max(max_pipe[0], sender.pipe)
+
+    sender._transmit = spy
+    net.engine.run()
+    assert max_pipe[0] <= bdp + 1_048  # one packet of slack
+
+
+def test_cnp_reduces_dcqcn_rate():
+    net = small_star(ecn=RedEcn(2_000, 10_000, 1.0, random.Random(3)))
+    config = roce_config()
+    senders = []
+    for src in (0, 1):
+        spec = FlowSpec(flow_id=net.new_flow_id(), src=src, dst=2, size=400_000)
+        senders.append(create_flow("dcqcn", net, spec, config)[0])
+    rates = []
+    for s in senders:
+        original = s.rate_ctrl.on_cnp
+
+        def spy(orig=original, sender=s):
+            orig()
+            rates.append(sender.rate_ctrl.rc)
+
+        s.rate_ctrl.on_cnp = spy
+    net.engine.run()
+    assert rates, "expected CNPs under congestion"
+    assert min(rates) < config.link_rate_bps
+
+
+def test_dcqcn_rate_machine_cut_and_recover():
+    engine = Engine()
+    config = roce_config()
+    rc = DcqcnRateControl(engine, config)
+    rc.start()
+    rc.on_cnp()
+    after_cut = rc.rc
+    assert after_cut == config.link_rate_bps * 0.5  # alpha=1 -> halved
+    assert rc.alpha > 0.99
+    # Five timer periods of fast recovery move Rc back toward Rt.
+    engine.run(until=6 * config.dcqcn_rate_timer_ns)
+    assert rc.rc > after_cut
+    rc.stop()
+
+
+def test_dcqcn_alpha_decays_without_cnp():
+    engine = Engine()
+    rc = DcqcnRateControl(engine, roce_config())
+    rc.start()
+    rc.on_cnp()
+    alpha0 = rc.alpha
+    engine.run(until=1_000_000)  # many alpha periods
+    assert rc.alpha < alpha0
+    rc.stop()
+
+
+def test_dcqcn_hyper_increase_reaches_line_rate():
+    engine = Engine()
+    config = roce_config()
+    rc = DcqcnRateControl(engine, config)
+    rc.start()
+    rc.on_cnp()
+    engine.run(until=100 * config.dcqcn_rate_timer_ns)
+    assert rc.rc > 0.95 * config.link_rate_bps
+    rc.stop()
+
+
+def test_hpcc_window_shrinks_under_congestion():
+    net = small_star(int_enabled=True)
+    config = roce_config()
+    senders = []
+    for src in (0, 1):
+        spec = FlowSpec(flow_id=net.new_flow_id(), src=src, dst=2, size=400_000)
+        senders.append(create_flow("hpcc", net, spec, config)[0])
+    net.engine.run()
+    bdp = config.link_rate_bps * config.base_rtt_ns // 8 // 1_000_000_000
+    # Two competing flows: each HPCC window must end below the BDP.
+    assert all(s.hpcc.window < bdp for s in senders)
+
+
+def test_hpcc_single_flow_keeps_high_window():
+    net = small_star(int_enabled=True)
+    config = roce_config()
+    sender, _, record = run_flow(net, "hpcc", size=400_000, config=config)
+    assert record.completed
+    bdp = config.link_rate_bps * config.base_rtt_ns // 8 // 1_000_000_000
+    assert sender.hpcc.window > bdp // 4
+
+
+def test_roce_receiver_acks_every_packet():
+    net = small_star()
+    acks = [0]
+    switch = net.switches[0]
+    original = switch.receive
+
+    def tap(packet, in_port):
+        if packet.kind == PacketKind.ACK:
+            acks[0] += 1
+        original(packet, in_port)
+
+    switch.receive = tap
+    run_flow(net, "dcqcn", size=50_000, config=roce_config())
+    assert acks[0] >= 50  # one per data packet
+
+
+def test_sack_lost_retransmission_recovered_by_reorder_timer():
+    """The silence pattern: a retransmission is lost again and no
+    further ACKs arrive (everything after the hole was delivered). The
+    RACK-style reorder timer must re-mark and resend it well before the
+    4 ms RTO fires."""
+    net = small_star()
+    drop = DropFilter(net.switches[0])
+    drop.drop_seq_once(3)
+    drop.drop_seq_once(3)  # the retransmission too
+    _, _, record = run_flow(net, "dcqcn-sack", size=20_000, config=roce_config())
+    assert record.completed
+    assert record.timeouts == 0
+    assert record.fct_ns < 1 * MILLIS
+
+
+def test_last_packet_smaller_payload():
+    net = small_star()
+    _, _, record = run_flow(net, "dcqcn-sack", size=2_500, config=roce_config())
+    assert record.completed
+    assert record.tx_bytes == 2_500  # 1000 + 1000 + 500

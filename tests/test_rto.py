@@ -1,0 +1,98 @@
+"""Tests for RTO estimation (Linux-style SRTT/RTTVAR)."""
+
+import pytest
+
+from repro.sim.units import MICROS, MILLIS
+from repro.transport.rto import FixedRto, RtoEstimator
+
+
+def test_first_sample_initializes_srtt_and_rttvar():
+    rto = RtoEstimator(rto_min=1 * MILLIS)
+    rto.on_rtt_sample(800 * MICROS)
+    assert rto.srtt == 800 * MICROS
+    assert rto.rttvar == 400 * MICROS
+
+
+def test_rto_formula_srtt_plus_4x_var():
+    rto = RtoEstimator(rto_min=1)
+    rto.on_rtt_sample(1_000_000)
+    # base_rto = srtt + 4*rttvar = 1ms + 4*0.5ms = 3ms
+    assert rto.base_rto == 3_000_000
+
+
+def test_rto_clamped_to_minimum():
+    rto = RtoEstimator(rto_min=4 * MILLIS)
+    rto.on_rtt_sample(10 * MICROS)
+    assert rto.base_rto == 4 * MILLIS
+
+
+def test_rto_clamped_to_maximum():
+    rto = RtoEstimator(rto_min=1 * MILLIS, rto_max=10 * MILLIS)
+    rto.on_rtt_sample(100 * MILLIS)
+    assert rto.base_rto == 10 * MILLIS
+
+
+def test_variance_shrinks_with_stable_rtt():
+    rto = RtoEstimator(rto_min=1)
+    for _ in range(100):
+        rto.on_rtt_sample(1_000_000)
+    assert rto.rttvar < 10_000  # EWMA converges toward zero variance
+    assert abs(rto.srtt - 1_000_000) < 10_000
+
+
+def test_variance_grows_with_volatile_rtt():
+    """Bursty traffic inflates the RTO well beyond the mean RTT (§2.2)."""
+    stable = RtoEstimator(rto_min=1)
+    volatile = RtoEstimator(rto_min=1)
+    for i in range(200):
+        stable.on_rtt_sample(1_000_000)
+        volatile.on_rtt_sample(200_000 if i % 2 else 2_000_000)
+    assert volatile.base_rto > stable.base_rto
+
+
+def test_backoff_doubles_rto():
+    rto = RtoEstimator(rto_min=4 * MILLIS, rto_max=100 * MILLIS)
+    assert rto.current == 4 * MILLIS
+    rto.backoff()
+    assert rto.current == 8 * MILLIS
+    rto.backoff()
+    assert rto.current == 16 * MILLIS
+
+
+def test_backoff_capped_at_rto_max():
+    rto = RtoEstimator(rto_min=4 * MILLIS, rto_max=10 * MILLIS)
+    for _ in range(10):
+        rto.backoff()
+    assert rto.current == 10 * MILLIS
+
+
+def test_new_sample_resets_backoff():
+    rto = RtoEstimator(rto_min=4 * MILLIS)
+    rto.backoff()
+    rto.on_rtt_sample(100 * MICROS)
+    assert rto.current == 4 * MILLIS
+
+
+def test_nonpositive_sample_is_sanitized():
+    rto = RtoEstimator(rto_min=1 * MILLIS)
+    rto.on_rtt_sample(0)
+    assert rto.srtt == 1
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        RtoEstimator(rto_min=0)
+    with pytest.raises(ValueError):
+        RtoEstimator(rto_min=10, rto_max=5)
+
+
+def test_fixed_rto_ignores_samples():
+    rto = FixedRto(160 * MICROS)
+    rto.on_rtt_sample(50 * MILLIS)
+    assert rto.base_rto == 160 * MICROS
+
+
+def test_fixed_rto_still_backs_off():
+    rto = FixedRto(160 * MICROS)
+    rto.backoff()
+    assert rto.current == 320 * MICROS

@@ -1,0 +1,103 @@
+"""Tests for the stats collector and percentile helpers."""
+
+from repro.stats.collector import NetStats
+from repro.stats.percentile import percentile, summarize
+
+
+def test_percentile_basic():
+    samples = list(range(1, 101))
+    assert percentile(samples, 50) == 50.5
+    assert percentile(samples, 99) > 98
+    assert percentile([], 99) == 0.0
+
+
+def test_summarize_fields():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s["count"] == 4
+    assert s["mean"] == 2.5
+    assert s["max"] == 4.0
+    assert summarize([])["count"] == 0
+
+
+def test_flow_lifecycle():
+    stats = NetStats()
+    rec = stats.new_flow(1, 0, 1, 1000, start_ns=100, group="fg")
+    assert not rec.completed
+    assert rec.fct_ns is None
+    rec.end_rx_ns = 600
+    assert rec.completed
+    assert rec.fct_ns == 500
+
+
+def test_fct_lists_by_group():
+    stats = NetStats()
+    a = stats.new_flow(1, 0, 1, 10, 0, "fg")
+    b = stats.new_flow(2, 0, 1, 10, 0, "bg")
+    a.end_rx_ns = 100
+    b.end_rx_ns = 300
+    assert stats.fct_list("fg") == [100]
+    assert stats.fct_list("bg") == [300]
+    assert stats.fct_summary("fg")["count"] == 1
+
+
+def test_timeouts_per_1k():
+    stats = NetStats()
+    for i in range(10):
+        rec = stats.new_flow(i, 0, 1, 10, 0, "fg")
+        rec.end_rx_ns = 1
+    stats.flows[0].timeouts = 2
+    assert stats.timeouts_per_1k_flows() == 200.0
+
+
+def test_timeouts_per_1k_empty():
+    assert NetStats().timeouts_per_1k_flows() == 0.0
+
+
+def test_important_loss_rate():
+    stats = NetStats()
+    assert stats.important_loss_rate() == 0.0
+    stats.green_data_packets = 1000
+    stats.drops_green = 1
+    assert stats.important_loss_rate() == 0.001
+
+
+def test_important_fraction():
+    stats = NetStats()
+    assert stats.important_fraction_bytes() == 0.0
+    stats.green_data_bytes = 100
+    stats.red_data_bytes = 900
+    assert stats.important_fraction_bytes() == 0.1
+
+
+def test_incomplete_flows():
+    stats = NetStats()
+    stats.new_flow(1, 0, 1, 10, 0, "fg")
+    done = stats.new_flow(2, 0, 1, 10, 0, "bg")
+    done.end_rx_ns = 5
+    assert stats.incomplete_flows() == 1
+    assert stats.incomplete_flows("bg") == 0
+
+
+def test_sample_reservoir_caps():
+    from repro.stats import collector
+
+    stats = NetStats()
+    original = collector.MAX_SAMPLES
+    collector.MAX_SAMPLES = 10
+    try:
+        for i in range(100):
+            stats.add_rtt_sample(i, "fg")
+            stats.add_delivery_sample(i)
+    finally:
+        collector.MAX_SAMPLES = original
+    assert len(stats.rtt_samples_fg) == 10
+    assert len(stats.delivery_samples) == 10
+
+
+def test_goodput():
+    stats = NetStats()
+    rec = stats.new_flow(1, 0, 1, 1_000_000, 0, "bg")
+    rec.end_rx_ns = 1_000_000
+    # 1 MB over 1 ms => 8 Gbps.
+    assert stats.goodput_bps("bg", 1_000_000) == 8e9
+    assert stats.goodput_bps("bg", 0) == 0.0

@@ -1,0 +1,112 @@
+"""Edge-case protocol tests for TLT (§5.3 discussion scenarios)."""
+
+import pytest
+
+from repro.core.config import TltConfig
+from repro.net.packet import PacketKind, TltMark
+from repro.sim.units import MILLIS
+from repro.transport.base import FlowSpec, TransportConfig
+from repro.transport.registry import create_flow
+
+from tests.util import DropFilter, run_flow, small_star
+
+
+def test_masking_losses_scenario():
+    """§5.3's masking discussion: consecutive red losses behind the
+    important packet are detected via its Echo and repaired by clocked
+    retransmissions. Whether congestion control saw the loss or not is
+    immaterial — there is nothing left to send — and the paper argues
+    this is harmless. Here: a 3-packet flow loses its two middle/red
+    packets; the flow must complete with zero timeouts. (Dropping the
+    *last* packet instead kills the green Important Data itself — that
+    case legitimately falls back to the RTO and is covered by
+    test_important_packet_loss_falls_back_to_rto.)"""
+    net = small_star()
+    drop = DropFilter(net.switches[0])
+    drop.drop_seq_once(0)
+    drop.drop_seq_once(1460)
+    _, _, record = run_flow(net, "tcp", size=3 * 1460, tlt=TltConfig())
+    assert record.completed
+    assert record.timeouts == 0
+    assert record.fct_ns < 1 * MILLIS
+
+
+def test_two_packet_flow_first_packet_lost():
+    net = small_star()
+    drop = DropFilter(net.switches[0])
+    drop.drop_seq_once(0)
+    _, _, record = run_flow(net, "tcp", size=2 * 1460, tlt=TltConfig())
+    assert record.completed
+    assert record.timeouts == 0
+
+
+def test_single_packet_flow_is_important():
+    """A 1-packet flow's only packet is the window tail: green."""
+    net = small_star()
+    greens = []
+    switch = net.switches[0]
+    original = switch.receive
+
+    def tap(packet, in_port):
+        if packet.kind == PacketKind.DATA:
+            greens.append(packet.mark)
+        original(packet, in_port)
+
+    switch.receive = tap
+    _, _, record = run_flow(net, "tcp", size=100, tlt=TltConfig())
+    assert record.completed
+    assert greens == [TltMark.IMPORTANT_DATA]
+
+
+def test_flow_spec_validation():
+    with pytest.raises(ValueError):
+        FlowSpec(flow_id=1, src=0, dst=1, size=0)
+    with pytest.raises(ValueError):
+        FlowSpec(flow_id=1, src=2, dst=2, size=10)
+    with pytest.raises(ValueError):
+        FlowSpec(flow_id=1, src=0, dst=1, size=10, start_ns=-5)
+
+
+def test_unknown_transport_rejected():
+    net = small_star()
+    spec = FlowSpec(flow_id=net.new_flow_id(), src=0, dst=1, size=10)
+    with pytest.raises(KeyError):
+        create_flow("quic", net, spec)
+
+
+def test_tlt_with_tiny_windows():
+    """cwnd clamped to one segment: clocking keeps the flow moving."""
+    net = small_star()
+    config = TransportConfig(base_rtt_ns=4_000, init_cwnd_segments=1,
+                             max_cwnd_bytes=1460)
+    _, _, record = run_flow(net, "tcp", size=30_000, tlt=TltConfig(), config=config)
+    assert record.completed
+    assert record.timeouts == 0
+
+
+def test_tlt_stats_idempotent_after_completion():
+    """Duplicate ACKs arriving after completion must not disturb
+    counters or crash."""
+    net = small_star()
+    sender, receiver, record = run_flow(net, "tcp", size=5_000, tlt=TltConfig())
+    assert record.completed
+    from repro.net.packet import Packet
+
+    dup = Packet(record.flow_id, record.dst, record.src, PacketKind.ACK, ack=5_000)
+    sender.on_packet(dup)
+    net.engine.run()
+    assert record.completed
+
+
+def test_many_consecutive_losses_recovered_by_clocking_rounds():
+    """A deep run of red losses including repeated retransmission
+    failures: TLT needs several clocking rounds but no timeout."""
+    net = small_star()
+    drop = DropFilter(net.switches[0])
+    for seq in (1460 * 2, 1460 * 3, 1460 * 4, 1460 * 5):
+        drop.drop_seq_once(seq)
+        drop.drop_seq_once(seq)  # the first retransmission too
+    _, _, record = run_flow(net, "tcp", size=14_600, tlt=TltConfig())
+    assert record.completed
+    assert record.timeouts == 0
+    assert record.fct_ns < 3 * MILLIS

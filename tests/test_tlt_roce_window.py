@@ -1,0 +1,89 @@
+"""Window-based TLT on the RoCE transports (IRN, HPCC)."""
+
+from repro.core.config import TltConfig
+from repro.net.packet import Color, PacketKind, TltMark
+from repro.sim.units import MILLIS
+from repro.transport.base import TransportConfig
+
+from tests.util import DropFilter, run_flow, small_star
+
+
+class Tap:
+    def __init__(self, switch):
+        self.packets = []
+        original = switch.receive
+
+        def tapped(packet, in_port):
+            self.packets.append(packet)
+            original(packet, in_port)
+
+        switch.receive = tapped
+
+    def data(self):
+        return [p for p in self.packets if p.kind == PacketKind.DATA]
+
+
+def cfg():
+    return TransportConfig(base_rtt_ns=4_000)
+
+
+def test_irn_marks_window_tail_important():
+    net = small_star()
+    tap = Tap(net.switches[0])
+    run_flow(net, "irn", size=10_000, tlt=TltConfig(), config=cfg())
+    marks = [p.mark for p in tap.data()]
+    assert TltMark.IMPORTANT_DATA in marks
+    greens = [p for p in tap.data() if p.color == Color.GREEN]
+    reds = [p for p in tap.data() if p.color == Color.RED]
+    assert greens and reds
+
+
+def test_irn_echo_comes_back():
+    net = small_star()
+    tap = Tap(net.switches[0])
+    run_flow(net, "irn", size=10_000, tlt=TltConfig(), config=cfg())
+    acks = [p for p in tap.packets if p.kind == PacketKind.ACK]
+    assert any(p.mark == TltMark.IMPORTANT_ECHO for p in acks)
+
+
+def test_irn_tail_loss_no_timeout_with_tlt():
+    net = small_star()
+    drop = DropFilter(net.switches[0])
+    drop.drop_once(
+        lambda p: p.kind == PacketKind.DATA and p.seq == 8 and p.color == Color.RED
+    )
+    _, _, record = run_flow(net, "irn", size=10_000, tlt=TltConfig(), config=cfg())
+    assert record.completed
+    assert record.timeouts == 0
+    assert record.fct_ns < 1 * MILLIS
+
+
+def test_hpcc_tlt_window_blocked_clocking():
+    """With a 2-packet HPCC window, clocking keeps the flow alive when
+    red packets are dropped."""
+    net = small_star(int_enabled=True, color_threshold_bytes=2_500,
+                     buffer_bytes=1_000_000)
+    _, _, record = run_flow(net, "hpcc", size=30_000, tlt=TltConfig(), config=cfg())
+    assert record.completed
+    assert record.timeouts == 0
+
+
+def test_hpcc_tlt_repeated_red_loss_recovers():
+    net = small_star(int_enabled=True)
+    drop = DropFilter(net.switches[0])
+    drop.drop_seq_once(5)
+    drop.drop_seq_once(5)  # retransmission lost too
+    _, _, record = run_flow(net, "hpcc", size=20_000, tlt=TltConfig(), config=cfg())
+    assert record.completed
+    assert record.timeouts == 0
+
+
+def test_roce_clocking_is_full_packet():
+    """RoCE cannot segment a PSN: clock packets carry a full payload
+    (the documented substitution for 1-byte clocking)."""
+    net = small_star()
+    tap = Tap(net.switches[0])
+    config = TransportConfig(base_rtt_ns=4_000)
+    run_flow(net, "irn", size=50_000, tlt=TltConfig(), config=config)
+    clock = [p for p in tap.data() if p.mark == TltMark.IMPORTANT_CLOCK_DATA]
+    assert all(p.payload >= 1000 for p in clock)

@@ -1,0 +1,107 @@
+"""Tests for topologies and ECMP routing."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.routing import Fib, ecmp_index
+from repro.net.topology import TopologyParams, dumbbell, leaf_spine, star
+from repro.switchsim.switch import SwitchConfig
+
+
+def test_leaf_spine_shape():
+    net = leaf_spine(num_spines=2, num_tors=4, hosts_per_tor=4)
+    assert len(net.hosts) == 16
+    assert len(net.switches) == 6  # 4 ToRs + 2 spines
+    tor = net.switches[0]
+    assert len(tor.ports) == 4 + 2  # hosts + uplinks
+    spine = net.switches[4]
+    assert len(spine.ports) == 4  # one per ToR
+
+
+def test_all_pairs_reachable_in_leaf_spine():
+    net = leaf_spine(num_spines=2, num_tors=3, hosts_per_tor=2)
+    received = []
+
+    class Sink:
+        def on_packet(self, p):
+            received.append(p)
+
+    sink = Sink()
+    flow = 1
+    for src in net.hosts:
+        for dst in net.hosts:
+            if src is dst:
+                continue
+            dst.register_endpoint(flow, sink)
+            src.send(Packet(flow, src.host_id, dst.host_id, PacketKind.DATA, payload=100))
+            flow += 1
+    net.engine.run()
+    assert len(received) == 6 * 5
+
+
+def test_ecmp_is_deterministic_per_flow():
+    fib = Fib(switch_id=3)
+    fib.add_route(7, [0, 1, 2, 3])
+    first = fib.lookup(7, flow_id=42)
+    assert all(fib.lookup(7, flow_id=42) == first for _ in range(100))
+
+
+def test_ecmp_spreads_flows():
+    fib = Fib(switch_id=3)
+    fib.add_route(7, [0, 1, 2, 3])
+    chosen = {fib.lookup(7, flow_id=f) for f in range(200)}
+    assert chosen == {0, 1, 2, 3}
+
+
+def test_ecmp_differs_between_switches():
+    picks_a = [ecmp_index(f, 1, 4) for f in range(100)]
+    picks_b = [ecmp_index(f, 2, 4) for f in range(100)]
+    assert picks_a != picks_b
+
+
+def test_ecmp_validates_fanout():
+    with pytest.raises(ValueError):
+        ecmp_index(1, 1, 0)
+
+
+def test_fib_requires_ports():
+    fib = Fib(0)
+    with pytest.raises(ValueError):
+        fib.add_route(1, [])
+
+
+def test_star_all_hosts_on_one_switch():
+    net = star(num_hosts=5)
+    assert len(net.switches) == 1
+    assert len(net.switches[0].ports) == 5
+
+
+def test_dumbbell_cross_traffic_uses_trunk():
+    net = dumbbell(left_hosts=3, right_hosts=2)
+    received = []
+
+    class Sink:
+        def on_packet(self, p):
+            received.append(p)
+
+    net.host(4).register_endpoint(1, Sink())
+    net.host(0).send(Packet(1, 0, 4, PacketKind.DATA, payload=100))
+    net.engine.run()
+    assert len(received) == 1
+    trunk_port = net.switches[0].ports[3]  # after 3 host ports
+    assert trunk_port.tx_packets == 1
+
+
+def test_flow_id_allocation_unique():
+    net = star(num_hosts=2)
+    ids = {net.new_flow_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_per_switch_buffer_and_config_shared():
+    cfg = SwitchConfig(buffer_bytes=123_456)
+    net = leaf_spine(params=TopologyParams(switch_config=cfg))
+    assert all(s.buffer.capacity == 123_456 for s in net.switches)
+    # Buffers are per-switch instances, not shared.
+    net.switches[0].buffer.reserve(100)
+    assert net.switches[1].buffer.used == 0

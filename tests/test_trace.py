@@ -1,0 +1,75 @@
+"""Tests for the packet tracer and CSV export utilities."""
+
+import os
+
+from repro.experiments.export import rows_to_csv
+from repro.sim.trace import PacketTracer
+from repro.transport.base import FlowSpec, TransportConfig
+from repro.transport.registry import create_flow
+
+from tests.util import small_star
+
+
+def run_two_flows(net):
+    for src, dst in ((0, 1), (2, 3)):
+        spec = FlowSpec(flow_id=net.new_flow_id(), src=src, dst=dst, size=5_000)
+        create_flow("tcp", net, spec, TransportConfig(base_rtt_ns=4_000))
+    net.engine.run()
+
+
+def test_tracer_records_events():
+    net = small_star()
+    tracer = PacketTracer(net)
+    run_two_flows(net)
+    assert len(tracer) > 0
+    assert tracer.flows_seen() == {1, 2}
+    text = tracer.to_text()
+    assert "DATA" in text and "ACK" in text
+
+
+def test_tracer_flow_filter():
+    net = small_star()
+    tracer = PacketTracer(net, flow_ids={1})
+    run_two_flows(net)
+    assert tracer.flows_seen() == {1}
+
+
+def test_tracer_event_cap():
+    net = small_star()
+    tracer = PacketTracer(net, max_events=3)
+    run_two_flows(net)
+    assert len(tracer) == 3
+
+
+def test_tracer_detach_stops_recording():
+    net = small_star()
+    tracer = PacketTracer(net)
+    tracer.detach()
+    run_two_flows(net)
+    assert len(tracer) == 0
+
+
+def test_trace_events_are_time_ordered_per_device():
+    net = small_star()
+    tracer = PacketTracer(net)
+    run_two_flows(net)
+    times = [e.time_ns for e in tracer.events]
+    assert times == sorted(times)
+
+
+def test_rows_to_csv_roundtrip(tmp_path):
+    rows = [{"a": 1, "b": "x"}, {"a": 2.5, "c": "y"}]
+    path = rows_to_csv(rows, str(tmp_path / "sub" / "out.csv"))
+    assert os.path.exists(path)
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    assert lines[0] == "a,b,c"
+    assert lines[1] == "1,x,"
+    assert lines[2] == "2.5,,y"
+
+
+def test_rows_to_csv_explicit_columns(tmp_path):
+    rows = [{"a": 1, "b": 2}]
+    path = rows_to_csv(rows, str(tmp_path / "out.csv"), columns=("b",))
+    with open(path) as handle:
+        assert handle.read().splitlines() == ["b", "2"]

@@ -1,0 +1,59 @@
+"""Tests for unit helpers and seeded RNG streams."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.units import GBPS, KB, MB, bdp_bytes, bytes_per_ns, tx_time_ns
+
+
+def test_tx_time_40g_1500b():
+    # 1500 B at 40 Gb/s = 300 ns exactly.
+    assert tx_time_ns(1500, 40 * GBPS) == 300
+
+
+def test_tx_time_rounds_up():
+    # 1 B at 40 Gb/s is 0.2 ns -> must round to 1 ns.
+    assert tx_time_ns(1, 40 * GBPS) == 1
+
+
+def test_tx_time_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        tx_time_ns(100, 0)
+
+
+def test_bdp_paper_value():
+    # The paper: 80 us x 40 Gbps = 400 kB.
+    assert bdp_bytes(40 * GBPS, 80_000) == 400 * KB
+
+
+def test_bytes_per_ns():
+    assert bytes_per_ns(40 * GBPS) == pytest.approx(5.0)
+
+
+def test_decimal_units():
+    assert KB == 1_000
+    assert MB == 1_000_000
+
+
+def test_rng_streams_are_independent():
+    reg = RngRegistry(42)
+    a1 = [reg.stream("a").random() for _ in range(5)]
+    reg2 = RngRegistry(42)
+    reg2.stream("b").random()  # touching another stream first
+    a2 = [reg2.stream("a").random() for _ in range(5)]
+    assert a1 == a2
+
+
+def test_rng_streams_differ_by_name():
+    reg = RngRegistry(42)
+    assert reg.stream("x").random() != reg.stream("y").random()
+
+
+def test_rng_same_stream_is_cached():
+    reg = RngRegistry(1)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_derive_seed_depends_on_master():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+    assert derive_seed(1, "a") != derive_seed(1, "b")

@@ -1,0 +1,106 @@
+"""Tests for workload generation."""
+
+import random
+
+import pytest
+
+from repro.net.topology import star
+from repro.workload.background import BackgroundTraffic
+from repro.workload.distributions import DISTRIBUTIONS, EmpiricalCdf, WEB_SEARCH
+from repro.workload.incast import IncastTraffic
+
+
+def test_web_search_mean_close_to_paper():
+    # The paper quotes a 1.72 MB average for the web-search workload.
+    mean = WEB_SEARCH.mean(samples=50_000)
+    assert 1_300_000 < mean < 2_200_000
+
+
+def test_all_distributions_sample_valid_sizes():
+    rng = random.Random(1)
+    for cdf in DISTRIBUTIONS.values():
+        for _ in range(1000):
+            size = cdf.sample(rng)
+            assert 1 <= size <= cdf.points[-1][0]
+
+
+def test_cdf_validation():
+    with pytest.raises(ValueError):
+        EmpiricalCdf("bad", [])
+    with pytest.raises(ValueError):
+        EmpiricalCdf("bad", [(100, 0.5), (50, 1.0)])  # non-increasing size
+    with pytest.raises(ValueError):
+        EmpiricalCdf("bad", [(100, 0.5)])  # doesn't reach 1.0
+
+
+def test_cdf_sampling_is_deterministic_per_seed():
+    a = [WEB_SEARCH.sample(random.Random(7)) for _ in range(10)]
+    b = [WEB_SEARCH.sample(random.Random(7)) for _ in range(10)]
+    assert a == b
+
+
+def test_background_schedules_requested_flows():
+    net = star(num_hosts=6)
+    created = []
+    bg = BackgroundTraffic(net, WEB_SEARCH, created.append, load=0.4, num_flows=50)
+    specs = bg.schedule()
+    assert len(specs) == 50
+    assert all(s.src != s.dst for s in specs)
+    assert all(s.group == "bg" for s in specs)
+    starts = [s.start_ns for s in specs]
+    assert starts == sorted(starts)
+    net.engine.run(until=specs[-1].start_ns + 1)
+    assert len(created) == 50  # lazily created at start times
+
+
+def test_background_load_scales_arrival_rate():
+    net = star(num_hosts=6)
+    low = BackgroundTraffic(net, WEB_SEARCH, lambda s: None, load=0.1, num_flows=10)
+    high = BackgroundTraffic(net, WEB_SEARCH, lambda s: None, load=0.6, num_flows=10)
+    assert high.lambda_per_ns > 5 * low.lambda_per_ns
+
+
+def test_background_rejects_bad_load():
+    net = star(num_hosts=6)
+    with pytest.raises(ValueError):
+        BackgroundTraffic(net, WEB_SEARCH, lambda s: None, load=0.0)
+
+
+def test_incast_event_structure():
+    net = star(num_hosts=6)
+    created = []
+    inc = IncastTraffic(
+        net, created.append, flow_size=8000, flows_per_sender=3,
+        num_events=2, interval_ns=1_000_000, receiver=0, start_ns=0,
+    )
+    specs = inc.schedule()
+    # 5 senders x 3 flows x 2 events.
+    assert len(specs) == 30
+    assert all(s.dst == 0 for s in specs)
+    assert all(s.group == "fg" for s in specs)
+    assert all(s.size == 8000 for s in specs)
+    first_event = [s for s in specs if s.start_ns == 0]
+    assert len(first_event) == 15  # synchronized burst
+
+
+def test_incast_interval_for_share():
+    interval = IncastTraffic.interval_for_share(
+        fg_share=0.05, bg_load=0.4, num_hosts=16,
+        link_rate_bps=40_000_000_000, flow_size=8000,
+        flows_per_sender=8, num_senders=15,
+    )
+    # fg rate = 32 B/ns * 0.05/0.95; event = 960 kB.
+    assert 500_000 < interval < 600_000
+
+
+def test_incast_share_validation():
+    with pytest.raises(ValueError):
+        IncastTraffic.interval_for_share(0.0, 0.4, 16, 40e9, 8000, 8, 15)
+
+
+def test_incast_random_receiver_varies():
+    net = star(num_hosts=8)
+    inc = IncastTraffic(net, lambda s: None, num_events=10, interval_ns=1000)
+    specs = inc.schedule()
+    receivers = {s.dst for s in specs}
+    assert len(receivers) > 1

@@ -1,0 +1,85 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.packet import Packet
+from repro.net.topology import Network, TopologyParams, star
+from repro.switchsim.switch import SwitchConfig
+from repro.transport.base import FlowSpec, TransportConfig
+
+
+def small_star(num_hosts: int = 4, delay_ns: int = 1_000, **switch_kwargs) -> Network:
+    """A small star network with microsecond-scale RTTs for fast tests."""
+    switch_kwargs.setdefault("buffer_bytes", 1_000_000)
+    params = TopologyParams(
+        switch_config=SwitchConfig(**switch_kwargs),
+        host_link_delay_ns=delay_ns,
+        fabric_link_delay_ns=delay_ns,
+    )
+    return star(num_hosts=num_hosts, params=params)
+
+
+class DropFilter:
+    """Deterministically drop selected packets at a switch.
+
+    ``predicate(packet)`` returning True drops the packet (and counts
+    it). Use ``drop_once(selector)`` helpers to drop the first packet
+    matching a condition exactly once.
+    """
+
+    def __init__(self, switch):
+        self.switch = switch
+        self.dropped: List[Packet] = []
+        self._predicates: List[Callable[[Packet], bool]] = []
+        self._original = switch.receive
+        switch.receive = self._receive  # type: ignore[method-assign]
+
+    def add(self, predicate: Callable[[Packet], bool]) -> None:
+        self._predicates.append(predicate)
+
+    def drop_once(self, predicate: Callable[[Packet], bool]) -> None:
+        armed = [True]
+
+        def once(packet: Packet) -> bool:
+            if armed[0] and predicate(packet):
+                armed[0] = False
+                return True
+            return False
+
+        self.add(once)
+
+    def drop_seq_once(self, seq: int) -> None:
+        """Drop the next DATA packet with this sequence number."""
+        from repro.net.packet import PacketKind
+
+        self.drop_once(lambda p: p.kind == PacketKind.DATA and p.seq == seq)
+
+    def _receive(self, packet: Packet, in_port) -> None:
+        for predicate in self._predicates:
+            if predicate(packet):
+                self.dropped.append(packet)
+                return
+        self._original(packet, in_port)
+
+
+def run_flow(
+    net: Network,
+    transport: str,
+    size: int,
+    src: int = 0,
+    dst: int = 1,
+    tlt=None,
+    config: Optional[TransportConfig] = None,
+    until: int = 2_000_000_000,
+    group: str = "fg",
+):
+    """Create one flow, run the engine, return (sender, receiver, record)."""
+    from repro.transport.registry import create_flow
+
+    spec = FlowSpec(flow_id=net.new_flow_id(), src=src, dst=dst, size=size, group=group)
+    config = config or TransportConfig(base_rtt_ns=4 * net.hosts[0].port.delay_ns)
+    sender, receiver = create_flow(transport, net, spec, config, tlt)
+    net.engine.run(until=until)
+    return sender, receiver, net.stats.flows[spec.flow_id]
