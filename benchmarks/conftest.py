@@ -4,17 +4,47 @@ Each benchmark regenerates one figure/table of the paper at the
 ``small`` scale (see ``repro.experiments.scale``) and prints the rows,
 so ``pytest benchmarks/ --benchmark-only`` reproduces the evaluation.
 Set ``TLT_BENCH_SCALE=tiny`` for a quick pass or ``medium``/``paper``
-for larger runs.
+for larger runs, and ``TLT_BENCH_JOBS=N`` to fan seeded runs out over
+N worker processes (see ``repro.experiments.parallel``).
+
+The on-disk result cache is disabled while benchmarking — a cache hit
+would report artifact-read time as simulation time — unless
+``TLT_BENCH_CACHE=1`` explicitly opts in.
 """
 
 import os
 
 import pytest
 
+from repro.experiments import parallel
+
 
 @pytest.fixture(scope="session")
 def bench_scale() -> str:
     return os.environ.get("TLT_BENCH_SCALE", "small")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def bench_execution():
+    """Benchmark-wide execution context: optional parallelism, no cache."""
+    with parallel.execution(
+        jobs=max(1, int(os.environ.get("TLT_BENCH_JOBS", "1"))),
+        use_cache=os.environ.get("TLT_BENCH_CACHE", "0") == "1",
+    ):
+        yield
+
+
+@pytest.fixture
+def record_events():
+    """Attach an engine-event count to a benchmark so reports carry
+    throughput (events/sec), which ``tools/check_bench_regression.py``
+    gates on instead of raw wall time."""
+
+    def _record(benchmark, events) -> None:
+        if events:
+            benchmark.extra_info["events"] = int(events)
+
+    return _record
 
 
 def run_and_print(benchmark, fn, printer, *args, **kwargs):

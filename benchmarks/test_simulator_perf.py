@@ -3,6 +3,10 @@
 Tracks the engine's raw event throughput and the end-to-end packet
 forwarding rate, so performance regressions in the hot paths show up
 in the benchmark report alongside the figure regenerations.
+
+Each test records its engine-event count via ``record_events`` so
+``--benchmark-json`` reports carry events/sec; CI gates these against
+``BENCH_baseline.json`` with ``tools/check_bench_regression.py``.
 """
 
 from repro.net.topology import TopologyParams, star
@@ -22,7 +26,7 @@ def _star(num_hosts=4, **switch_kwargs):
     return star(num_hosts=num_hosts, params=params)
 
 
-def test_engine_event_throughput(benchmark):
+def test_engine_event_throughput(benchmark, record_events):
     def run_events():
         engine = Engine()
 
@@ -35,10 +39,11 @@ def test_engine_event_throughput(benchmark):
         return engine.events_processed
 
     events = benchmark(run_events)
+    record_events(benchmark, events)
     assert events == 100_001
 
 
-def test_flow_forwarding_rate(benchmark):
+def test_flow_forwarding_rate(benchmark, record_events):
     """One 5 MB TCP flow across a star switch: ~7k packets round trip."""
 
     def run_flow_once():
@@ -50,10 +55,11 @@ def test_flow_forwarding_rate(benchmark):
         return net.engine.events_processed
 
     events = benchmark(run_flow_once)
+    record_events(benchmark, events)
     assert events > 10_000
 
 
-def test_incast_simulation_rate(benchmark):
+def test_incast_simulation_rate(benchmark, record_events):
     """An 8-to-1 DCTCP incast with TLT — the common experiment kernel."""
     from repro.core.config import TltConfig
 
@@ -67,4 +73,5 @@ def test_incast_simulation_rate(benchmark):
         assert net.stats.incomplete_flows() == 0
         return net.engine.events_processed
 
-    benchmark(run_incast)
+    events = benchmark(run_incast)
+    record_events(benchmark, events)

@@ -8,7 +8,7 @@ recorded.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.apps.rpc import RpcNode
 

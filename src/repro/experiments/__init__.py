@@ -8,5 +8,18 @@ returning result rows and a ``main()`` that prints them; benchmarks in
 
 from repro.experiments.scenarios import ScenarioConfig, ScenarioResult, run_scenario
 from repro.experiments.scale import SCALES, Scale
+from repro.experiments.parallel import (
+    ExecutionContext,
+    Job,
+    JobResult,
+    configure,
+    execution,
+    get_context,
+    run_jobs,
+)
 
-__all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario", "SCALES", "Scale"]
+__all__ = [
+    "ScenarioConfig", "ScenarioResult", "run_scenario", "SCALES", "Scale",
+    "ExecutionContext", "Job", "JobResult", "configure", "execution",
+    "get_context", "run_jobs",
+]

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import statistics
+import sys
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.experiments.parallel import Job, metrics_reference, run_jobs
 from repro.experiments.scale import SCALES, Scale
 from repro.experiments.scenarios import ScenarioConfig, ScenarioResult, run_scenario
 
@@ -20,20 +22,48 @@ def run_averaged(
     config: ScenarioConfig,
     seeds: Sequence[int] = (1,),
     metrics: Optional[Callable[[ScenarioResult], Dict[str, float]]] = None,
+    *,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    timeout_s: Optional[float] = None,
 ) -> Dict[str, float]:
     """Run ``config`` once per seed; return mean (and std as ``k_std``)
-    of every metric. The paper averages five seeded runs."""
-    metrics = metrics or (lambda res: res.summary_row())
-    samples: List[Dict[str, float]] = []
-    for seed in seeds:
-        result = run_scenario(replace(config, seed=seed))
-        samples.append(metrics(result))
+    of every metric. The paper averages five seeded runs.
+
+    Seeds execute through the parallel job runner
+    (:mod:`repro.experiments.parallel`): they fan out over worker
+    processes when the execution context (or ``jobs``) allows, finished
+    results are served from the on-disk cache, and a failed seed is
+    dropped from the average with a warning instead of killing the
+    sweep (all seeds failing raises). ``k_std`` is always emitted —
+    0.0 for single-sample runs — so CSV/JSON schemas are stable across
+    seed counts.
+    """
+    metrics_ref = metrics_reference(metrics)
+    if metrics is not None and metrics_ref is None:
+        # Non-importable reducer (lambda/closure): run serially in this
+        # process. No caching/parallelism — the reducer cannot be
+        # addressed from a worker, nor fingerprinted for the cache.
+        samples = [metrics(run_scenario(replace(config, seed=seed))) for seed in seeds]
+    else:
+        job_list = [Job(index, config, seed, metrics_ref)
+                    for index, seed in enumerate(seeds)]
+        results = run_jobs(job_list, jobs_n=jobs, use_cache=use_cache,
+                           timeout_s=timeout_s)
+        failures = [res for res in results if not res.ok]
+        if failures:
+            detail = "; ".join(
+                f"seed {seeds[res.index]}: {res.error}" for res in failures)
+            if len(failures) == len(results):
+                raise RuntimeError(f"every seed failed: {detail}")
+            print(f"warning: averaging over {len(results) - len(failures)}/"
+                  f"{len(results)} seeds ({detail})", file=sys.stderr)
+        samples = [res.row for res in results if res.ok]
     row: Dict[str, float] = {}
     for key in samples[0]:
         values = [s[key] for s in samples]
         row[key] = statistics.fmean(values)
-        if len(values) > 1:
-            row[key + "_std"] = statistics.stdev(values)
+        row[key + "_std"] = statistics.stdev(values) if len(values) > 1 else 0.0
     return row
 
 

@@ -1,8 +1,9 @@
-"""Export experiment rows to CSV for external plotting."""
+"""Export experiment rows to CSV/JSON for external plotting and CI."""
 
 from __future__ import annotations
 
 import csv
+import json
 import os
 from typing import Dict, Iterable, List, Sequence
 
@@ -28,4 +29,15 @@ def rows_to_csv(rows: Iterable[Dict], path: str, columns: Sequence[str] = ()) ->
         writer.writeheader()
         for row in rows:
             writer.writerow({c: row.get(c, "") for c in columns})
+    return path
+
+
+def write_json(payload: Dict, path: str) -> str:
+    """Write a JSON document to ``path`` (directories created); returns
+    the path. Used for ``tlt-experiment bench-report`` artifacts."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path

@@ -14,7 +14,6 @@ paper's complete table.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Sequence
 
 from repro.experiments.common import print_table, resolve_scale, run_averaged

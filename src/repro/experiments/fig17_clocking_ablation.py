@@ -8,14 +8,21 @@ fraction of the clocking bytes).
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Sequence
 
 from repro.core.config import ClockingPolicy, TltConfig
 from repro.experiments.common import print_table, resolve_scale, run_averaged
-from repro.experiments.scenarios import ScenarioConfig, run_scenario
+from repro.experiments.scenarios import ScenarioConfig
 
 COLUMNS = ["policy", "fg_p99_ms", "fg_p999_ms", "clocking_kB", "pause_per_1k"]
+
+
+def clocking_metrics(result):
+    """Summary row plus clocking bytes (module-level so the parallel
+    runner can address it from worker processes and cache on it)."""
+    row = result.summary_row()
+    row["clocking_kB"] = result.stats.clocking_bytes / 1e3
+    return row
 
 
 def run(scale="small", seeds: Sequence[int] = (1,)) -> List[Dict]:
@@ -27,13 +34,7 @@ def run(scale="small", seeds: Sequence[int] = (1,)) -> List[Dict]:
             transport="dctcp", tlt=True, pfc=True, scale=scale,
             tlt_config=TltConfig(clocking=policy),
         )
-
-        def metrics(result):
-            row = result.summary_row()
-            row["clocking_kB"] = result.stats.clocking_bytes / 1e3
-            return row
-
-        row = run_averaged(config, seeds, metrics=metrics)
+        row = run_averaged(config, seeds, metrics=clocking_metrics)
         row["policy"] = policy.value
         rows.append(row)
     return rows

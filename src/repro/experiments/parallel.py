@@ -1,0 +1,343 @@
+"""Parallel experiment execution: a process-pool job runner.
+
+Fans ``(scenario, seed)`` pairs out across CPU cores while keeping the
+output *bit-identical* to a serial run:
+
+- every :class:`Job` is independent (one ``run_scenario`` call in a
+  fresh process, seeded by its config), so no cross-run state leaks;
+- results are keyed by job index and re-ordered before they are
+  returned, so callers always see them in submission order;
+- metrics reducers run inside the worker (a :class:`ScenarioResult`
+  holds the whole network and is too heavy to ship between processes)
+  and are addressed by a ``module:qualname`` reference so they pickle
+  under any start method.
+
+Fault tolerance: a worker that crashes, hangs past ``timeout_s`` or
+raises is retried (``retries`` times, default once) and then reported
+as a failed :class:`JobResult` instead of killing the sweep.
+
+Completed jobs are written to the content-addressed on-disk cache
+(:mod:`repro.experiments.cache`), so re-runs — including CI — only
+execute what changed.
+
+The module-level :class:`ExecutionContext` carries the defaults
+(``--jobs``, ``--no-cache``, ``--timeout`` from the CLI); library code
+such as :func:`repro.experiments.common.run_averaged` picks them up
+without every experiment module having to thread parameters through.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+import time
+import traceback
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from importlib import import_module
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.experiments import perf
+from repro.experiments.cache import ResultCache, fingerprint
+from repro.experiments.scenarios import ScenarioConfig, ScenarioResult, run_scenario
+
+ENV_JOBS = "TLT_JOBS"
+ENV_START_METHOD = "TLT_MP_START"
+
+#: How often the scheduler polls worker pipes (seconds).
+_POLL_INTERVAL_S = 0.05
+
+
+def default_jobs() -> int:
+    try:
+        return max(1, int(os.environ.get(ENV_JOBS, "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class ExecutionContext:
+    """Process-wide execution defaults for the job runner."""
+
+    jobs: int = field(default_factory=default_jobs)
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    timeout_s: Optional[float] = None
+    retries: int = 1
+
+
+_context = ExecutionContext()
+
+
+def get_context() -> ExecutionContext:
+    return _context
+
+
+def configure(**kwargs) -> ExecutionContext:
+    """Update fields of the current execution context (None = keep)."""
+    for name, value in kwargs.items():
+        if not hasattr(_context, name):
+            raise TypeError(f"unknown execution option {name!r}")
+        if value is not None:
+            setattr(_context, name, value)
+    _context.jobs = max(1, int(_context.jobs))
+    return _context
+
+
+@contextmanager
+def execution(**kwargs) -> Iterator[ExecutionContext]:
+    """Temporarily swap in a fresh execution context (tests, sweeps)."""
+    global _context
+    previous = _context
+    _context = replace(previous)
+    try:
+        yield configure(**kwargs)
+    finally:
+        _context = previous
+
+
+@dataclass(frozen=True)
+class Job:
+    """One (scenario, seed) unit of work."""
+
+    index: int
+    config: ScenarioConfig
+    seed: int
+    metrics: Optional[str] = None  # "module:qualname" reducer reference
+
+    def cache_key(self) -> str:
+        return fingerprint(replace(self.config, seed=self.seed), self.seed, self.metrics)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, in submission order."""
+
+    index: int
+    row: Optional[Dict] = None
+    error: Optional[str] = None
+    events: int = 0
+    wall_s: float = 0.0
+    cached: bool = False
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.row is not None and self.error is None
+
+
+def resolve_metrics(ref: Optional[str]) -> Callable[[ScenarioResult], Dict]:
+    """Turn a ``module:qualname`` reference back into a callable."""
+    if ref is None:
+        return lambda result: result.summary_row()
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"malformed metrics reference {ref!r}")
+    obj = import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def metrics_reference(fn: Optional[Callable]) -> Optional[str]:
+    """Importable ``module:qualname`` for ``fn``, or None.
+
+    Lambdas, closures and anything that does not round-trip through an
+    import cannot run in a worker process; callers fall back to serial
+    in-process execution for those.
+    """
+    if fn is None:
+        return None
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        return None
+    ref = f"{module}:{qualname}"
+    try:
+        resolved = resolve_metrics(ref)
+    except Exception:
+        return None
+    return ref if resolved is fn else None
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _execute_raw(job: Job) -> Tuple[Dict, int, float]:
+    """Run one job in the current process; returns (row, events, wall_s)."""
+    started = time.perf_counter()
+    result = run_scenario(replace(job.config, seed=job.seed))
+    row = resolve_metrics(job.metrics)(result)
+    return row, result.net.engine.events_processed, time.perf_counter() - started
+
+
+def _execute_inline(job: Job) -> JobResult:
+    started = time.perf_counter()
+    try:
+        row, events, wall_s = _execute_raw(job)
+    except Exception as exc:
+        return JobResult(index=job.index, error=f"{type(exc).__name__}: {exc}",
+                         wall_s=time.perf_counter() - started)
+    return JobResult(index=job.index, row=row, events=events, wall_s=wall_s)
+
+
+def _worker_entry(conn, job: Job) -> None:
+    """Worker process body: run the job, ship (status, payload) back."""
+    try:
+        payload = _execute_raw(job)
+        conn.send(("ok", payload))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=20)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    preferred = os.environ.get(ENV_START_METHOD)
+    if preferred and preferred in methods:
+        return mp.get_context(preferred)
+    # fork is markedly cheaper and keeps test-defined metrics importable.
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _stop_worker(proc) -> None:
+    if not proc.is_alive():
+        return
+    proc.terminate()
+    proc.join(timeout=2)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=2)
+
+
+def _run_pool(jobs: Sequence[Job], slots: int, timeout_s: Optional[float],
+              retries: int) -> List[JobResult]:
+    """Schedule jobs over up to ``slots`` worker processes."""
+    ctx = _mp_context()
+    queue = deque((job, 1) for job in jobs)
+    running: Dict[object, Tuple[object, Job, int, float]] = {}  # conn -> (proc, ...)
+    done: List[JobResult] = []
+    try:
+        while queue or running:
+            while queue and len(running) < slots:
+                job, attempt = queue.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_worker_entry, args=(child_conn, job),
+                                   daemon=True)
+                proc.start()
+                child_conn.close()
+                running[parent_conn] = (proc, job, attempt, time.monotonic())
+            ready = mp_connection.wait(list(running), timeout=_POLL_INTERVAL_S)
+            now = time.monotonic()
+            for conn in list(running):
+                proc, job, attempt, started = running[conn]
+                outcome = None
+                if conn in ready:
+                    try:
+                        outcome = conn.recv()
+                    except (EOFError, OSError):
+                        proc.join(timeout=5)  # reap so exitcode is readable
+                        outcome = ("crash", f"worker exited with code {proc.exitcode} "
+                                            "before returning a result")
+                elif not proc.is_alive():
+                    proc.join(timeout=5)
+                    outcome = ("crash", f"worker exited with code {proc.exitcode} "
+                                        "before returning a result")
+                elif timeout_s is not None and now - started > timeout_s:
+                    _stop_worker(proc)
+                    outcome = ("crash", f"worker timed out after {timeout_s:g}s "
+                                        "and was killed")
+                if outcome is None:
+                    continue
+                del running[conn]
+                conn.close()
+                _stop_worker(proc)
+                proc.join(timeout=5)
+                status, payload = outcome
+                if status == "ok":
+                    row, events, wall_s = payload
+                    done.append(JobResult(index=job.index, row=row, events=events,
+                                          wall_s=wall_s, attempts=attempt))
+                elif attempt <= retries:
+                    queue.append((job, attempt + 1))
+                else:
+                    done.append(JobResult(index=job.index,
+                                          error=str(payload).strip(),
+                                          attempts=attempt))
+    finally:
+        for conn, (proc, _job, _attempt, _started) in running.items():
+            _stop_worker(proc)
+            conn.close()
+    return done
+
+
+def run_jobs(jobs: Sequence[Job], *, jobs_n: Optional[int] = None,
+             use_cache: Optional[bool] = None, cache: Optional[ResultCache] = None,
+             timeout_s: Optional[float] = None,
+             retries: Optional[int] = None) -> List[JobResult]:
+    """Run jobs (cache → pool/inline), returning results in submission order.
+
+    Deterministic merging: the result list lines up 1:1 with ``jobs``
+    regardless of completion order, worker count or cache hits, so a
+    parallel sweep is bit-identical to a serial one.
+    """
+    ctx = get_context()
+    slots = ctx.jobs if jobs_n is None else max(1, int(jobs_n))
+    use_cache = ctx.use_cache if use_cache is None else use_cache
+    timeout_s = ctx.timeout_s if timeout_s is None else timeout_s
+    retries = ctx.retries if retries is None else max(0, int(retries))
+    if cache is None and use_cache:
+        cache = ResultCache(ctx.cache_dir)
+
+    results: Dict[int, JobResult] = {}
+    keys: Dict[int, str] = {}
+    pending: List[Job] = []
+    seen = set()
+    for job in jobs:
+        if job.index in seen:
+            raise ValueError(f"duplicate job index {job.index}")
+        seen.add(job.index)
+        if use_cache:
+            key = keys[job.index] = job.cache_key()
+            artifact = cache.get(key)
+            if artifact is not None:
+                results[job.index] = JobResult(
+                    index=job.index, row=artifact["row"],
+                    events=int(artifact.get("events", 0)),
+                    wall_s=float(artifact.get("wall_s", 0.0)), cached=True,
+                )
+                perf.TALLY.add_cached()
+                continue
+        pending.append(job)
+
+    if pending:
+        if slots <= 1 and timeout_s is None:
+            # Inline serial path: zero process overhead; run_scenario
+            # feeds the perf tally itself.
+            executed = [_execute_inline(job) for job in pending]
+        else:
+            executed = _run_pool(pending, slots, timeout_s, retries)
+            for res in executed:
+                if res.ok:
+                    perf.TALLY.add(res.events, res.wall_s)
+        for res in executed:
+            results[res.index] = res
+            if res.ok and use_cache:
+                job = next(j for j in pending if j.index == res.index)
+                try:
+                    cache.put(keys[res.index], res.row, seed=job.seed,
+                              events=res.events, wall_s=res.wall_s)
+                except OSError as exc:  # a read-only cache dir must not kill a sweep
+                    print(f"warning: could not write result cache: {exc}",
+                          file=sys.stderr)
+    missing = [job.index for job in jobs if job.index not in results]
+    if missing:
+        raise RuntimeError(f"job runner lost results for indices {missing}")
+    return [results[job.index] for job in jobs]

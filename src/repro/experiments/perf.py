@@ -1,0 +1,59 @@
+"""Simulation-throughput accounting for ``tlt-experiment bench-report``.
+
+A process-global :class:`PerfTally` accumulates how many engine events
+every scenario run processed and how long it took, regardless of where
+the run happened: :func:`repro.experiments.scenarios.run_scenario`
+reports in-process runs directly, and the parallel job runner
+(:mod:`repro.experiments.parallel`) reports runs executed in worker
+processes from the parent side (a child's tally dies with the child).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+
+class PerfTally:
+    """Thread-safe accumulator of (events, wall seconds) per scenario run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.events = 0
+            self.wall_s = 0.0
+            self.runs = 0
+            self.cached_runs = 0
+
+    def add(self, events: int, wall_s: float) -> None:
+        """Record one executed scenario run."""
+        with self._lock:
+            self.events += int(events)
+            self.wall_s += float(wall_s)
+            self.runs += 1
+
+    def add_cached(self) -> None:
+        """Record a run that was served from the result cache."""
+        with self._lock:
+            self.cached_runs += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "events": self.events,
+                "wall_s": self.wall_s,
+                "runs": self.runs,
+                "cached_runs": self.cached_runs,
+            }
+
+    @property
+    def events_per_sec(self) -> float:
+        with self._lock:
+            return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+#: Process-global tally used by ``tlt-experiment bench-report``.
+TALLY = PerfTally()

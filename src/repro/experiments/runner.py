@@ -4,16 +4,32 @@ Usage::
 
     tlt-experiment list
     tlt-experiment fig05 --scale small
-    tlt-experiment all --scale tiny
+    tlt-experiment fig05 --scale small --seeds 5 --jobs 4
+    tlt-experiment all --scale tiny --jobs 2
+    tlt-experiment bench-report --scale tiny --out BENCH_tiny.json
+
+``--jobs N`` fans seeded runs out over N worker processes (results are
+bit-identical to a serial run), ``--seeds N`` averages seeds 1..N on
+modules that support seed averaging, and completed runs are served
+from the on-disk result cache (disable with ``--no-cache``; see
+``repro.experiments.cache``). ``bench-report`` times every experiment
+and writes a machine-readable ``BENCH_*.json`` with wall time and
+simulated events/sec — the input of ``tools/check_bench_regression.py``.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
+import platform
 import sys
 import time
-from typing import Dict
+from typing import Dict, List
+
+from repro.experiments import parallel, perf
+from repro.experiments.export import rows_to_csv, write_json
+from repro.version import __version__
 
 EXPERIMENTS: Dict[str, str] = {
     "fig01": "repro.experiments.fig01_rto_cdf",
@@ -40,22 +56,141 @@ EXPERIMENTS: Dict[str, str] = {
 }
 
 
+def _call_run(module, scale: str, seeds_n: int):
+    """Invoke ``module.run`` with seeds 1..N when the module supports it."""
+    kwargs = {"scale": scale}
+    if seeds_n > 1:
+        parameters = inspect.signature(module.run).parameters
+        if "seeds" in parameters:
+            kwargs["seeds"] = tuple(range(1, seeds_n + 1))
+        else:
+            print(f"note: {module.__name__} runs single-seed; --seeds ignored",
+                  file=sys.stderr)
+    return module.run(**kwargs)
+
+
+def _print_rows(module, result) -> None:
+    """Generic table print for the --seeds path (module.main only takes
+    a scale, so curated printing is bypassed when seeds are requested)."""
+    from repro.experiments.common import print_table
+
+    parts = result if isinstance(result, dict) else {"": result}
+    for part, rows in parts.items():
+        if not rows:
+            continue
+        columns = getattr(module, "COLUMNS", None)
+        if not columns or any(c not in rows[0] for c in columns):
+            columns = list(rows[0].keys())
+        print_table(rows, columns, part)
+
+
+def _run_one(name: str, args) -> None:
+    module = importlib.import_module(EXPERIMENTS[name])
+    started = time.time()
+    if args.csv or (args.seeds or 1) > 1:
+        result = _call_run(module, args.scale, args.seeds or 1)
+        if args.csv:
+            parts = result if isinstance(result, dict) else {None: result}
+            for part, rows in parts.items():
+                suffix = f"_{part}" if part else ""
+                path = rows_to_csv(rows, f"{args.csv}/{name}{suffix}.csv")
+                print(f"wrote {path}")
+        else:
+            _print_rows(module, result)
+    else:
+        module.main(scale=args.scale)
+    print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+
+
+def _bench_report(names: List[str], args) -> int:
+    """Time every experiment; write wall time + events/sec as JSON."""
+    report = {
+        "schema": 1,
+        "scale": args.scale,
+        "jobs": parallel.get_context().jobs,
+        "python": platform.python_version(),
+        "version": __version__,
+        "experiments": {},
+    }
+    total_wall = 0.0
+    for name in names:
+        module = importlib.import_module(EXPERIMENTS[name])
+        perf.TALLY.reset()
+        started = time.perf_counter()
+        _call_run(module, args.scale, args.seeds or 1)
+        wall_s = time.perf_counter() - started
+        total_wall += wall_s
+        snap = perf.TALLY.snapshot()
+        rate = snap["events"] / snap["wall_s"] if snap["wall_s"] > 0 else None
+        report["experiments"][name] = {
+            "wall_s": round(wall_s, 3),
+            "sim_events": snap["events"],
+            "sim_wall_s": round(snap["wall_s"], 3),
+            "runs": snap["runs"],
+            "cached_runs": snap["cached_runs"],
+            "events_per_sec": round(rate) if rate else None,
+        }
+        shown = f"{round(rate):,} events/s" if rate else "cached/no sim"
+        print(f"{name:16s} {wall_s:8.1f}s  {shown}")
+    report["total_wall_s"] = round(total_wall, 3)
+    path = write_json(report, args.out or f"BENCH_{args.scale}.json")
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="tlt-experiment",
         description="Regenerate the paper's evaluation figures/tables.",
     )
-    parser.add_argument("experiment", help="experiment id (e.g. fig05), 'all' or 'list'")
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. fig05), 'all', 'list' or 'bench-report'")
     parser.add_argument("--scale", default="small",
                         help="tiny | small | medium | paper (default: small)")
+    parser.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="average seeds 1..N on modules that support it (default: 1)")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="run up to N (scenario, seed) jobs in parallel worker "
+                             "processes (default: $TLT_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always execute; do not read or write the result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location (default: $TLT_CACHE_DIR or "
+                             "~/.cache/tlt-repro)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="kill+retry a single run after this many seconds "
+                             "(forces worker processes)")
     parser.add_argument("--csv", default=None, metavar="DIR",
                         help="also write the result rows as CSV files into DIR")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="bench-report output path (default: BENCH_<scale>.json)")
+    parser.add_argument("--only", default=None, metavar="IDS",
+                        help="bench-report: comma-separated subset of experiments")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name, module in EXPERIMENTS.items():
             print(f"{name:8s} {module}")
         return 0
+
+    if args.seeds is not None and args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+
+    parallel.configure(
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+    )
+
+    if args.experiment == "bench-report":
+        names = args.only.split(",") if args.only else list(EXPERIMENTS)
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+            return 2
+        return _bench_report(names, args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -64,22 +199,7 @@ def main(argv=None) -> int:
         return 2
 
     for name in names:
-        module = importlib.import_module(EXPERIMENTS[name])
-        started = time.time()
-        if args.csv:
-            from repro.experiments.export import rows_to_csv
-
-            result = module.run(scale=args.scale)
-            if isinstance(result, dict):
-                for part, rows in result.items():
-                    path = rows_to_csv(rows, f"{args.csv}/{name}_{part}.csv")
-                    print(f"wrote {path}")
-            else:
-                path = rows_to_csv(result, f"{args.csv}/{name}.csv")
-                print(f"wrote {path}")
-        else:
-            module.main(scale=args.scale)
-        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+        _run_one(name, args)
     return 0
 
 

@@ -21,18 +21,20 @@ Paper defaults encoded here:
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from repro.core.config import TltConfig
+from repro.experiments.perf import TALLY
 from repro.net.topology import Network, TopologyParams, dumbbell, leaf_spine, star
-from repro.sim.units import GBPS, KB, MB, MICROS, MILLIS
+from repro.sim.units import GBPS, KB, MICROS, MILLIS
 from repro.switchsim.ecn import RedEcn, StepEcn
 from repro.switchsim.pfc import PfcConfig
 from repro.switchsim.switch import SwitchConfig
 from repro.transport.base import FlowSpec, TransportConfig
 from repro.transport.registry import create_flow
-from repro.experiments.scale import SCALES, SMALL, Scale
+from repro.experiments.scale import SMALL, Scale
 from repro.workload.background import BackgroundTraffic
 from repro.workload.distributions import DISTRIBUTIONS
 from repro.workload.incast import IncastTraffic
@@ -227,6 +229,7 @@ def make_transport_config(config: ScenarioConfig) -> TransportConfig:
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Build, run and measure one scenario."""
+    wall_started = time.perf_counter()
     net = build_network(config)
     tconfig = make_transport_config(config)
     tlt_cfg = config.tlt_config if config.tlt else None
@@ -299,4 +302,5 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     while net.stats.incomplete_flows() and net.engine.now < hard_cap and net.engine.pending:
         net.engine.run(until=min(net.engine.now + 50 * MILLIS, hard_cap))
 
+    TALLY.add(net.engine.events_processed, time.perf_counter() - wall_started)
     return ScenarioResult(config, net, net.engine.now, queue_samples)

@@ -10,7 +10,6 @@ single-port ceiling.
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from repro.core.config import TltConfig

@@ -13,7 +13,7 @@ transport behaves exactly like the baseline protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
 
 from collections import deque

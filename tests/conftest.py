@@ -1,0 +1,19 @@
+"""Test-wide fixtures.
+
+Every test runs inside a fresh execution context with the on-disk
+result cache disabled, so the suite stays hermetic: no artifacts leak
+into (or are served stale from) ``~/.cache/tlt-repro``, and a test
+that calls ``parallel.configure`` cannot affect its neighbours. Tests
+that exercise the cache pass an explicit ``cache_dir``/``cache``.
+"""
+
+import pytest
+
+from repro.experiments import parallel
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_execution(tmp_path):
+    with parallel.execution(jobs=1, use_cache=False,
+                            cache_dir=str(tmp_path / "tlt-cache")):
+        yield

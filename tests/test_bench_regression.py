@@ -1,0 +1,104 @@
+"""Tests for tools/check_bench_regression.py (the CI benchmark gate)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+TOOL = os.path.join(os.path.dirname(__file__), "..", "tools",
+                    "check_bench_regression.py")
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL)
+tool = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(tool)
+
+
+def write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def pytest_benchmark_doc(rates):
+    return {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": events / rate},
+             "extra_info": {"events": events}}
+            for name, (events, rate) in rates.items()
+        ]
+    }
+
+
+def test_load_rates_pytest_benchmark_format(tmp_path):
+    path = write(tmp_path / "run.json",
+                 pytest_benchmark_doc({"bench_a": (100_000, 50_000.0)}))
+    assert tool.load_rates(path) == {"bench_a": pytest.approx(50_000.0)}
+
+
+def test_load_rates_without_events_uses_runs_per_sec(tmp_path):
+    path = write(tmp_path / "run.json",
+                 {"benchmarks": [{"name": "b", "stats": {"mean": 0.25}}]})
+    assert tool.load_rates(path) == {"b": pytest.approx(4.0)}
+
+
+def test_load_rates_bench_report_format(tmp_path):
+    path = write(tmp_path / "BENCH_tiny.json", {
+        "experiments": {
+            "fig05": {"wall_s": 10.0, "events_per_sec": 123_456},
+            "fig11": {"wall_s": 5.0, "events_per_sec": None},  # cached run
+        }
+    })
+    assert tool.load_rates(path) == {"fig05": 123_456.0}
+
+
+def test_load_rates_rejects_unknown_format(tmp_path):
+    path = write(tmp_path / "junk.json", {"something": 1})
+    with pytest.raises(ValueError):
+        tool.load_rates(path)
+
+
+def test_gate_passes_within_threshold(tmp_path, capsys):
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"a": (1000, 80_000.0)}))
+    baseline = write(tmp_path / "base.json",
+                     {"benchmarks": {"a": {"events_per_sec": 100_000.0}}})
+    assert tool.main([current, baseline, "--threshold", "0.25"]) == 0
+    assert "gate passed" in capsys.readouterr().out
+
+
+def test_gate_fails_beyond_threshold(tmp_path, capsys):
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"a": (1000, 70_000.0)}))
+    baseline = write(tmp_path / "base.json",
+                     {"benchmarks": {"a": {"events_per_sec": 100_000.0}}})
+    assert tool.main([current, baseline, "--threshold", "0.25"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_gate_fails_when_benchmark_disappears(tmp_path, capsys):
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"other": (1000, 100_000.0)}))
+    baseline = write(tmp_path / "base.json",
+                     {"benchmarks": {"gone": {"events_per_sec": 100_000.0}}})
+    assert tool.main([current, baseline]) == 1
+    out = capsys.readouterr().out
+    assert "disappeared" in out
+    assert "new" in out  # the unexpected benchmark is reported, not gated
+
+
+def test_update_writes_normalized_baseline(tmp_path):
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"a": (1000, 50_000.0)}))
+    baseline = tmp_path / "base.json"
+    assert tool.main([current, str(baseline), "--update"]) == 0
+    saved = json.loads(baseline.read_text())
+    assert saved["schema"] == tool.BASELINE_SCHEMA
+    assert saved["benchmarks"]["a"]["events_per_sec"] == pytest.approx(50_000.0)
+    # Round-trips through load_rates and passes against itself.
+    assert tool.main([current, str(baseline)]) == 0
+
+
+def test_empty_current_run_errors(tmp_path):
+    current = write(tmp_path / "run.json", {"benchmarks": []})
+    baseline = write(tmp_path / "base.json", {"benchmarks": {}})
+    assert tool.main([current, baseline]) == 2

@@ -3,7 +3,6 @@
 Each module's ``run()`` must produce structurally valid rows at a
 minimal scale (the benchmarks exercise them at full scale)."""
 
-import pytest
 
 from repro.experiments.scale import Scale
 

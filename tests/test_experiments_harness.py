@@ -1,6 +1,7 @@
 """Tests for the experiment harness (tables, averaging, CLI, registry)."""
 
 import importlib
+import sys
 
 import pytest
 
@@ -59,3 +60,67 @@ def test_cli_list():
 
 def test_cli_unknown_experiment():
     assert main(["fig99"]) == 2
+
+
+def test_cli_rejects_bad_seed_count():
+    assert main(["fig05", "--seeds", "0"]) == 2
+
+
+def test_cli_flags_configure_execution_context(monkeypatch):
+    from repro.experiments.parallel import get_context
+    from tests import stub_experiment
+
+    monkeypatch.setitem(EXPERIMENTS, "stub", "tests.stub_experiment")
+    assert main(["stub", "--scale", "tiny", "--jobs", "3", "--no-cache",
+                 "--timeout", "7.5"]) == 0
+    context = get_context()
+    assert context.jobs == 3
+    assert context.use_cache is False
+    assert context.timeout_s == 7.5
+    assert stub_experiment.LAST_CALL["scale"] == "tiny"
+
+
+def test_cli_seeds_passed_to_module_run(monkeypatch, capsys):
+    from tests import stub_experiment
+
+    monkeypatch.setitem(EXPERIMENTS, "stub", "tests.stub_experiment")
+    assert main(["stub", "--scale", "tiny", "--seeds", "4"]) == 0
+    assert stub_experiment.LAST_CALL["seeds"] == (1, 2, 3, 4)
+    out = capsys.readouterr().out
+    assert "stub" in out and "4" in out  # value column = seed count
+
+
+def test_cli_seeds_ignored_on_single_seed_modules(monkeypatch, capsys):
+    import types
+
+    module = types.ModuleType("tests._single_seed_stub")
+
+    def run(scale="small", seed: int = 1):
+        return [{"v": 1.0}]
+
+    module.run = run
+    module.main = lambda scale="small": None
+    monkeypatch.setitem(sys.modules, "tests._single_seed_stub", module)
+    monkeypatch.setitem(EXPERIMENTS, "sstub", "tests._single_seed_stub")
+    assert main(["sstub", "--seeds", "3"]) == 0
+    assert "single-seed" in capsys.readouterr().err
+
+
+def test_cli_bench_report_writes_json(monkeypatch, tmp_path):
+    import json
+
+    monkeypatch.setitem(EXPERIMENTS, "stub", "tests.stub_experiment")
+    out = tmp_path / "BENCH_stub.json"
+    assert main(["bench-report", "--scale", "tiny", "--only", "stub",
+                 "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["scale"] == "tiny"
+    assert "stub" in report["experiments"]
+    entry = report["experiments"]["stub"]
+    assert entry["wall_s"] >= 0
+    assert "events_per_sec" in entry
+    assert report["total_wall_s"] >= 0
+
+
+def test_cli_bench_report_unknown_subset():
+    assert main(["bench-report", "--only", "nope"]) == 2

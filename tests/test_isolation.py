@@ -1,6 +1,5 @@
 """Tests for traffic-class isolation (incremental deployment, §5.3)."""
 
-from dataclasses import replace
 
 from repro.core.config import TltConfig
 from repro.net.packet import Color, Packet, PacketKind

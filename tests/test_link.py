@@ -1,7 +1,7 @@
 """Tests for ports/links: serialization, propagation, FIFO, pause."""
 
 from repro.net.link import connect
-from repro.net.node import Device, Host
+from repro.net.node import Device
 from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Engine
 from repro.sim.units import GBPS

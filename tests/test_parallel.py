@@ -1,0 +1,189 @@
+"""Tests for the parallel experiment execution engine.
+
+Covers the tentpole guarantees: parallel output is bit-identical to
+serial, results come back in submission order, worker crashes/hangs
+are retried once and then reported as failed rows, and non-importable
+metrics reducers fall back to serial in-process execution.
+"""
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.common import run_averaged
+from repro.experiments.parallel import (
+    ExecutionContext,
+    Job,
+    configure,
+    execution,
+    get_context,
+    metrics_reference,
+    resolve_metrics,
+    run_jobs,
+)
+from repro.experiments.scale import Scale
+from repro.experiments.scenarios import ScenarioConfig
+
+import tests.util as util
+
+#: Smallest scenario that still runs the full pipeline (~0.2 s/run).
+FAST = Scale("fast-par", num_spines=1, num_tors=2, hosts_per_tor=2,
+             bg_flows=4, incast_events=1, incast_flows_per_sender=1)
+
+
+def fast_config(**overrides) -> ScenarioConfig:
+    return ScenarioConfig(transport="tcp", scale=FAST, **overrides)
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def test_parallel_rows_bit_identical_to_serial():
+    config = fast_config()
+    with execution(jobs=1, use_cache=False):
+        serial = run_averaged(config, seeds=(1, 2, 3))
+    with execution(jobs=4, use_cache=False):
+        parallel_row = run_averaged(config, seeds=(1, 2, 3))
+    assert parallel_row == serial
+    assert serial["bg_avg_ms_std"] > 0  # seeds actually differ
+
+
+def test_run_jobs_returns_submission_order():
+    jobs = [Job(i, fast_config(), seed) for i, seed in enumerate((3, 1, 2))]
+    results = run_jobs(jobs, jobs_n=3, use_cache=False)
+    assert [r.index for r in results] == [0, 1, 2]
+    assert all(r.ok and not r.cached and r.events > 0 for r in results)
+
+
+def test_run_jobs_rejects_duplicate_indices():
+    jobs = [Job(0, fast_config(), 1), Job(0, fast_config(), 2)]
+    with pytest.raises(ValueError, match="duplicate"):
+        run_jobs(jobs, jobs_n=1, use_cache=False)
+
+
+# -- fault tolerance ---------------------------------------------------------
+
+
+def test_metrics_exception_reported_as_failed_row():
+    jobs = [
+        Job(0, fast_config(), 1),
+        Job(1, fast_config(), 1, metrics="tests.util:crashing_metrics"),
+    ]
+    results = run_jobs(jobs, jobs_n=2, use_cache=False)
+    assert results[0].ok
+    assert not results[1].ok
+    assert "injected metrics failure" in results[1].error
+    assert results[1].attempts == 2  # retried once before giving up
+
+
+def test_worker_hard_crash_reported():
+    jobs = [Job(0, fast_config(), 1, metrics="tests.util:exiting_metrics")]
+    [result] = run_jobs(jobs, jobs_n=2, use_cache=False)
+    assert not result.ok
+    assert "exited with code 17" in result.error
+    assert result.attempts == 2
+
+
+def test_worker_crash_retry_succeeds(tmp_path, monkeypatch):
+    marker = tmp_path / "first-attempt"
+    monkeypatch.setenv("TLT_TEST_FLAKY", str(marker))
+    jobs = [Job(0, fast_config(), 1, metrics="tests.util:flaky_once_metrics")]
+    [result] = run_jobs(jobs, jobs_n=2, use_cache=False)
+    assert result.ok
+    assert result.attempts == 2
+    assert marker.exists()
+
+
+def test_hung_worker_killed_after_timeout():
+    jobs = [Job(0, fast_config(), 1, metrics="tests.util:sleeping_metrics")]
+    [result] = run_jobs(jobs, jobs_n=2, use_cache=False, timeout_s=1.5, retries=0)
+    assert not result.ok
+    assert "timed out" in result.error
+    assert result.attempts == 1
+
+
+def test_serial_inline_failure_does_not_kill_sweep():
+    jobs = [
+        Job(0, fast_config(), 1, metrics="tests.util:crashing_metrics"),
+        Job(1, fast_config(), 1),
+    ]
+    results = run_jobs(jobs, jobs_n=1, use_cache=False)
+    assert not results[0].ok and "injected" in results[0].error
+    assert results[1].ok
+
+
+# -- run_averaged integration ------------------------------------------------
+
+
+def test_run_averaged_partial_failure_averages_survivors(capsys):
+    row = run_averaged(fast_config(), seeds=(1, 2),
+                       metrics=util.fail_on_seed2_metrics, jobs=2)
+    assert row["fg_p99_ms_std"] == 0.0  # only seed 1 survived
+    assert "seed 2" in capsys.readouterr().err
+
+
+def test_run_averaged_raises_when_every_seed_fails():
+    with pytest.raises(RuntimeError, match="every seed failed"):
+        run_averaged(fast_config(), seeds=(1, 2),
+                     metrics=util.crashing_metrics, jobs=2)
+
+
+def test_run_averaged_lambda_metrics_falls_back_to_serial():
+    row = run_averaged(fast_config(), seeds=(1,), metrics=lambda r: {"x": 2.0})
+    assert row == {"x": 2.0, "x_std": 0.0}
+
+
+def test_run_averaged_std_always_emitted_for_single_seed():
+    row = run_averaged(fast_config(), seeds=(1,))
+    assert row["fg_p99_ms_std"] == 0.0
+    assert set(k for k in row if k.endswith("_std")) == \
+        set(k + "_std" for k in row if not k.endswith("_std"))
+
+
+# -- metrics references & context --------------------------------------------
+
+
+def test_metrics_reference_round_trip():
+    ref = metrics_reference(util.crashing_metrics)
+    assert ref == "tests.util:crashing_metrics"
+    assert resolve_metrics(ref) is util.crashing_metrics
+
+
+def test_metrics_reference_rejects_lambdas_and_closures():
+    assert metrics_reference(lambda r: {}) is None
+
+    def closure(result):
+        return {}
+
+    assert metrics_reference(closure) is None
+    assert metrics_reference(None) is None
+
+
+def test_execution_context_nesting_and_configure():
+    outer = get_context()
+    with execution(jobs=3) as ctx:
+        assert get_context() is ctx
+        assert ctx.jobs == 3
+        configure(jobs=7, timeout_s=2.0)
+        assert ctx.jobs == 7 and ctx.timeout_s == 2.0
+        with pytest.raises(TypeError):
+            configure(bogus=1)
+    assert get_context() is outer
+
+
+def test_cached_jobs_mix_with_executed_jobs(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    first = run_jobs([Job(0, fast_config(), 1)], jobs_n=1,
+                     use_cache=True, cache=cache)
+    assert not first[0].cached
+    jobs = [Job(0, fast_config(), 1), Job(1, fast_config(), 2)]
+    results = run_jobs(jobs, jobs_n=1, use_cache=True, cache=cache)
+    assert results[0].cached and not results[1].cached
+    assert results[0].row == first[0].row
+
+
+def test_execution_context_defaults():
+    ctx = ExecutionContext()
+    assert ctx.jobs >= 1
+    assert ctx.use_cache is True
+    assert ctx.retries == 1
+    assert ctx.timeout_s is None

@@ -1,7 +1,6 @@
 """Tests for PFC: losslessness, pause frames, HoL blocking."""
 
-from repro.net.packet import Color, Packet, PacketKind
-from repro.net.topology import TopologyParams, dumbbell, star
+from repro.net.topology import TopologyParams, dumbbell
 from repro.switchsim.pfc import PfcConfig, max_pause_ns
 from repro.switchsim.switch import SwitchConfig
 from repro.sim.units import GBPS

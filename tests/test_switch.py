@@ -1,16 +1,10 @@
 """Tests for the switch: admission, color-aware dropping, ECN, INT."""
 
-import pytest
-
-from repro.net.link import connect
-from repro.net.node import Host
 from repro.net.packet import Color, Packet, PacketKind
 from repro.net.topology import star, TopologyParams
-from repro.sim.engine import Engine
-from repro.sim.units import GBPS, KB
-from repro.stats.collector import NetStats
+from repro.sim.units import GBPS
 from repro.switchsim.ecn import StepEcn
-from repro.switchsim.switch import Switch, SwitchConfig
+from repro.switchsim.switch import SwitchConfig
 
 
 def make_star(num_hosts=3, **cfg_kwargs):

@@ -64,6 +64,53 @@ class DropFilter:
         self._original(packet, in_port)
 
 
+# -- failure-injection metrics for the parallel job runner ------------------
+# These must live at module level so worker processes can resolve them
+# by "tests.util:<name>" references (see repro.experiments.parallel).
+
+
+def crashing_metrics(result):
+    """Always raises — exercises in-worker exception reporting."""
+    raise RuntimeError("injected metrics failure")
+
+
+def exiting_metrics(result):
+    """Hard-kills the worker process without a traceback."""
+    import os
+
+    os._exit(17)
+
+
+def sleeping_metrics(result):
+    """Blocks far past any test timeout — exercises the watchdog."""
+    import time
+
+    time.sleep(600)
+    return result.summary_row()
+
+
+def flaky_once_metrics(result):
+    """Crashes the worker on first use, succeeds on retry.
+
+    The attempt marker file is named by the TLT_TEST_FLAKY env var
+    (inherited by workers), so only the first attempt dies.
+    """
+    import os
+
+    marker = os.environ["TLT_TEST_FLAKY"]
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(13)
+    return result.summary_row()
+
+
+def fail_on_seed2_metrics(result):
+    """Fails only for seed 2 — exercises partial-failure averaging."""
+    if result.config.seed == 2:
+        raise RuntimeError("seed 2 rejected")
+    return result.summary_row()
+
+
 def run_flow(
     net: Network,
     transport: str,

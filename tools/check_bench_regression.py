@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares a benchmark run against a committed baseline and exits
+non-zero when any benchmark's throughput (events/sec) dropped by more
+than ``--threshold`` (default 25%).
+
+Accepted input formats (auto-detected):
+
+- pytest-benchmark ``--benchmark-json`` output — throughput is
+  ``extra_info["events"] / stats.mean`` when the benchmark recorded an
+  event count (see ``benchmarks/conftest.py:record_events``), else
+  ``1 / stats.mean`` (runs/sec);
+- ``tlt-experiment bench-report`` output (``BENCH_*.json``);
+- the normalized baseline format this tool writes with ``--update``:
+  ``{"benchmarks": {name: {"events_per_sec": float}}, ...}``.
+
+Usage::
+
+    python tools/check_bench_regression.py bench.json BENCH_baseline.json
+    python tools/check_bench_regression.py bench.json BENCH_baseline.json --update
+
+Baselines are machine-dependent: refresh with ``--update`` (run on the
+reference machine / CI runner class) whenever the simulator's expected
+performance legitimately changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+BASELINE_SCHEMA = 1
+
+
+def load_rates(path: str) -> Dict[str, float]:
+    """Normalize any supported report format to {name: events_per_sec}."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+
+    rates: Dict[str, float] = {}
+    if isinstance(document.get("benchmarks"), list):
+        # pytest-benchmark --benchmark-json format.
+        for bench in document["benchmarks"]:
+            mean = bench["stats"]["mean"]
+            if mean <= 0:
+                continue
+            events = (bench.get("extra_info") or {}).get("events")
+            rates[bench["name"]] = (float(events) if events else 1.0) / mean
+    elif isinstance(document.get("benchmarks"), dict):
+        # Normalized baseline format (written by --update).
+        for name, entry in document["benchmarks"].items():
+            rate = entry["events_per_sec"] if isinstance(entry, dict) else entry
+            if rate:
+                rates[name] = float(rate)
+    elif isinstance(document.get("experiments"), dict):
+        # tlt-experiment bench-report format.
+        for name, entry in document["experiments"].items():
+            rate = entry.get("events_per_sec")
+            if rate:
+                rates[name] = float(rate)
+    else:
+        raise ValueError(f"{path}: unrecognized benchmark report format")
+    return rates
+
+
+def write_baseline(rates: Dict[str, float], path: str, source: str) -> None:
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "source": os.path.basename(source),
+        "note": "events/sec per benchmark; refresh with "
+                "tools/check_bench_regression.py <run> <this file> --update",
+        "benchmarks": {
+            name: {"events_per_sec": round(rate, 1)}
+            for name, rate in sorted(rates.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare(current: Dict[str, float], baseline: Dict[str, float],
+            threshold: float) -> int:
+    """Print a comparison table; return the number of gate failures."""
+    failures = 0
+    width = max((len(n) for n in {*current, *baseline}), default=4)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}  verdict")
+    for name in sorted(baseline):
+        base_rate = baseline[name]
+        if name not in current:
+            failures += 1
+            print(f"{name.ljust(width)}  {base_rate:12.0f}  {'MISSING':>12}  "
+                  f"{'-':>7}  FAIL (benchmark disappeared)")
+            continue
+        rate = current[name]
+        ratio = rate / base_rate
+        if ratio < 1.0 - threshold:
+            failures += 1
+            verdict = f"FAIL (>{threshold:.0%} throughput drop)"
+        elif ratio > 1.0 + threshold:
+            verdict = "ok (improved — consider --update)"
+        else:
+            verdict = "ok"
+        print(f"{name.ljust(width)}  {base_rate:12.0f}  {rate:12.0f}  "
+              f"{ratio:6.2f}x  {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name.ljust(width)}  {'-':>12}  {current[name]:12.0f}  "
+              f"{'-':>7}  new (not gated; --update to adopt)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="benchmark run to check "
+                        "(pytest-benchmark or bench-report JSON)")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
+                        help="max tolerated relative throughput drop (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run and exit")
+    args = parser.parse_args(argv)
+
+    current = load_rates(args.current)
+    if not current:
+        print(f"error: no usable benchmarks in {args.current}", file=sys.stderr)
+        return 2
+    if args.update:
+        write_baseline(current, args.baseline, source=args.current)
+        print(f"baseline updated from {args.current}: "
+              f"{len(current)} benchmarks -> {args.baseline}")
+        return 0
+
+    baseline = load_rates(args.baseline)
+    failures = compare(current, baseline, args.threshold)
+    if failures:
+        print(f"\n{failures} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
