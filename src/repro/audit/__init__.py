@@ -1,0 +1,30 @@
+"""Runtime invariant auditing and debug tracing (``repro.audit``).
+
+Attach an :class:`Auditor` to a network to machine-check conservation
+and consistency invariants while the simulation runs, with a structured
+ring-buffer trace dumped on violation. See :mod:`repro.audit.auditor`.
+"""
+
+from repro.audit.auditor import AuditConfig, Auditor
+from repro.audit.checkers import (
+    ALL_CHECKERS,
+    check_buffer_conservation,
+    check_clock,
+    check_color_accounting,
+    check_flow_ledger,
+    check_pfc_consistency,
+)
+from repro.audit.ring import AuditError, EventRing
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AuditConfig",
+    "AuditError",
+    "Auditor",
+    "EventRing",
+    "check_buffer_conservation",
+    "check_clock",
+    "check_color_accounting",
+    "check_flow_ledger",
+    "check_pfc_consistency",
+]

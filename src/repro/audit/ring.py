@@ -1,0 +1,105 @@
+"""Structured ring-buffer trace of recent simulation events.
+
+The ring keeps the last N events (packet enqueue/dequeue/drop, PFC
+pause/resume, RTO timer fires, audit ticks) as cheap tuples; only when
+a violation is raised are they expanded into dictionaries and dumped as
+JSON for post-mortem analysis. Recording is a single ``deque.append``
+so it is safe to leave on for whole experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Trace entry layout: (time_ns, kind, device, flow, seq, size, color, port, info)
+_FIELDS = ("time_ns", "kind", "device", "flow", "seq", "size", "color", "port", "info")
+
+
+class EventRing:
+    """Fixed-capacity ring of structured simulation events."""
+
+    __slots__ = ("capacity", "recorded", "_events")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self.recorded = 0  # total events ever recorded (ring may have dropped old ones)
+        self._events: Deque[Tuple] = deque(maxlen=capacity)
+
+    def record(
+        self,
+        kind: str,
+        *,
+        time_ns: int = 0,
+        device: Optional[str] = None,
+        flow: Optional[int] = None,
+        seq: Optional[int] = None,
+        size: Optional[int] = None,
+        color: Optional[str] = None,
+        port: Optional[int] = None,
+        info: object = None,
+    ) -> None:
+        self.recorded += 1
+        self._events.append((time_ns, kind, device, flow, seq, size, color, port, info))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def to_list(self) -> List[Dict]:
+        """Expand the retained events into JSON-able dictionaries."""
+        out = []
+        for event in self._events:
+            entry = {
+                name: value
+                for name, value in zip(("time_ns", "kind"), event[:2])
+            }
+            for name, value in zip(_FIELDS[2:], event[2:]):
+                if value is not None:
+                    entry[name] = value
+            out.append(entry)
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_list(), indent=indent)
+
+
+class AuditError(AssertionError):
+    """A machine-checked simulation invariant was violated.
+
+    Carries the structured violations plus the ring-buffer trace of the
+    last simulation events so the failure can be analysed post-mortem.
+    ``to_json()`` serialises both; :meth:`dump` writes them to a file.
+    """
+
+    def __init__(self, violations: List[str], trace: List[Dict], time_ns: int = 0):
+        self.violations = list(violations)
+        self.trace = list(trace)
+        self.time_ns = time_ns
+        preview = "; ".join(self.violations[:3])
+        more = f" (+{len(self.violations) - 3} more)" if len(self.violations) > 3 else ""
+        super().__init__(
+            f"audit failed at t={time_ns}ns: {preview}{more} "
+            f"[{len(self.trace)} trace events retained]"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "time_ns": self.time_ns,
+            "violations": self.violations,
+            "trace": self.trace,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def dump(self, path: str) -> str:
+        """Write the violation report + trace as JSON; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+        return path

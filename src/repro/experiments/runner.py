@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import inspect
+import os
 import platform
 import sys
 import time
@@ -160,6 +161,10 @@ def main(argv=None) -> int:
     parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="kill+retry a single run after this many seconds "
                              "(forces worker processes)")
+    parser.add_argument("--audit", action="store_true",
+                        help="run with the runtime invariant auditor attached "
+                             "(raises AuditError with a trace dump on any "
+                             "violated simulation invariant)")
     parser.add_argument("--csv", default=None, metavar="DIR",
                         help="also write the result rows as CSV files into DIR")
     parser.add_argument("--out", default=None, metavar="PATH",
@@ -176,6 +181,10 @@ def main(argv=None) -> int:
     if args.seeds is not None and args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
         return 2
+
+    if args.audit:
+        # Via the environment so pool workers (fork or spawn) inherit it.
+        os.environ["TLT_AUDIT"] = "1"
 
     parallel.configure(
         jobs=args.jobs,

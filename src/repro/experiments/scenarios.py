@@ -20,11 +20,13 @@ Paper defaults encoded here:
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from repro.audit import AuditConfig, Auditor
 from repro.core.config import TltConfig
 from repro.experiments.perf import TALLY
 from repro.net.topology import Network, TopologyParams, dumbbell, leaf_spine, star
@@ -94,6 +96,10 @@ class ScenarioConfig:
     drain_ns: int = 100 * MILLIS
     hard_cap_ns: Optional[int] = None
     queue_sample_interval_ns: int = 20 * MICROS
+    #: Run with the runtime invariant auditor attached. ``None`` defers
+    #: to the ``TLT_AUDIT`` environment variable (set by ``--audit``),
+    #: which also reaches pool workers and keeps cache keys stable.
+    audit: Optional[bool] = None
 
     # -- derived ----------------------------------------------------------------
 
@@ -122,6 +128,12 @@ class ScenarioConfig:
         return self.link_rate_bps * self.base_rtt_ns // 8 // 1_000_000_000
 
     @property
+    def audit_enabled(self) -> bool:
+        if self.audit is not None:
+            return self.audit
+        return os.environ.get("TLT_AUDIT", "") not in ("", "0")
+
+    @property
     def resolved_color_threshold(self) -> Optional[int]:
         if not self.tlt:
             return None
@@ -138,6 +150,7 @@ class ScenarioResult:
     net: Network
     duration_ns: int
     queue_samples: list
+    auditor: Optional[Auditor] = None
 
     @property
     def stats(self):
@@ -231,6 +244,10 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Build, run and measure one scenario."""
     wall_started = time.perf_counter()
     net = build_network(config)
+    auditor = None
+    if config.audit_enabled:
+        auditor = Auditor(net, AuditConfig(dump_path=os.environ.get("TLT_AUDIT_DUMP") or None))
+        auditor.install()
     tconfig = make_transport_config(config)
     tlt_cfg = config.tlt_config if config.tlt else None
 
@@ -302,5 +319,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     while net.stats.incomplete_flows() and net.engine.now < hard_cap and net.engine.pending:
         net.engine.run(until=min(net.engine.now + 50 * MILLIS, hard_cap))
 
+    if auditor is not None:
+        auditor.final_check()
     TALLY.add(net.engine.events_processed, time.perf_counter() - wall_started)
-    return ScenarioResult(config, net, net.engine.now, queue_samples)
+    return ScenarioResult(config, net, net.engine.now, queue_samples, auditor)

@@ -75,7 +75,7 @@ class Network:
 
 
 def _new_network(seed: int) -> Network:
-    return Network(Engine(), NetStats(), RngRegistry(seed))
+    return Network(Engine(), NetStats(seed=seed), RngRegistry(seed))
 
 
 def leaf_spine(

@@ -82,8 +82,12 @@ class Engine:
         """Run until the queue drains, ``until`` ns is reached, or
         ``max_events`` events have been processed.
 
-        Returns the number of events processed by this call. The clock is
-        advanced to ``until`` if given and the queue drained earlier.
+        Returns the number of events processed by this call. When
+        ``until`` is given the call always ends with ``now ==
+        max(now, until)``, whether or not future events remain queued —
+        unless ``max_events`` stopped it before every event at or
+        before ``until`` was processed (advancing past unprocessed
+        events would run them in the past).
         """
         if self._running:
             raise SimulationError("engine is not reentrant")
@@ -105,8 +109,10 @@ class Engine:
                     break
         finally:
             self._running = False
-        if until is not None and self.now < until and not queue:
-            self.now = until
+        if until is not None and self.now < until:
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self.now = until
         self._events_processed += processed
         return processed
 

@@ -7,8 +7,10 @@ experiments read it after the run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import random
+from typing import Dict, Iterator, List, Optional
 
+from repro.net.packet import Color, PacketKind
 from repro.stats.percentile import summarize
 
 
@@ -64,14 +66,61 @@ class FlowRecord:
         )
 
 
-#: Cap on per-run sample lists to bound memory in long runs.
+#: Cap on per-run sample reservoirs to bound memory in long runs.
 MAX_SAMPLES = 500_000
 
 
-class NetStats:
-    """Counters and samples for a whole simulation run."""
+class Reservoir:
+    """Uniform fixed-capacity sample of a stream (Vitter's Algorithm R).
 
-    def __init__(self) -> None:
+    Every element of the stream ends up in the sample with probability
+    ``capacity / seen``, so percentiles computed over the sample are
+    unbiased however long the run — unlike keep-first-N truncation,
+    which freezes the sample on cold-start behaviour. Deterministic for
+    a given seed and insertion order. Supports the sequence protocol so
+    callers can treat it like the list it replaces.
+    """
+
+    __slots__ = ("capacity", "seen", "_samples", "_rng")
+
+    def __init__(self, capacity: int = MAX_SAMPLES, seed: object = 0):
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.seen = 0
+        self._samples: List[int] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: int) -> None:
+        self.seen += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._samples)
+
+    def __getitem__(self, index):
+        return self._samples[index]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Reservoir({len(self._samples)}/{self.capacity} of {self.seen} seen)"
+
+
+class NetStats:
+    """Counters and samples for a whole simulation run.
+
+    ``seed`` makes the sample reservoirs deterministic; the topology
+    builders pass the run seed through.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
         # Host-side packet accounting.
         self.green_data_packets = 0
         self.red_data_packets = 0
@@ -79,9 +128,16 @@ class NetStats:
         self.red_data_bytes = 0
         self.clocking_bytes = 0  # bytes injected by important ACK-clocking
         self.clocking_packets = 0
-        # Switch-side drop accounting.
+        # Switch-side drop accounting. The *_data/*_ctrl split separates
+        # data packets from control packets (SYN/ACK/FIN/NACK/CNP, which
+        # are forced green under TLT): Table 1's important-loss metric
+        # must compare green *data* drops against green *data* sends.
         self.drops_green = 0
         self.drops_red = 0
+        self.drops_green_data = 0
+        self.drops_red_data = 0
+        self.drops_green_ctrl = 0
+        self.drops_red_ctrl = 0
         self.drop_bytes = 0
         self.ecn_marks = 0
         # PFC accounting.
@@ -90,11 +146,13 @@ class NetStats:
         # Transport events.
         self.timeouts = 0
         self.fast_retransmits = 0
-        # Sample reservoirs.
-        self.rtt_samples_fg: List[int] = []
-        self.rtt_samples_bg: List[int] = []
-        self.delivery_samples: List[int] = []
+        # Sample reservoirs (uniform over the run, see Reservoir).
+        self.rtt_samples_fg = Reservoir(MAX_SAMPLES, seed=f"{seed}:rtt_fg")
+        self.rtt_samples_bg = Reservoir(MAX_SAMPLES, seed=f"{seed}:rtt_bg")
+        self.delivery_samples = Reservoir(MAX_SAMPLES, seed=f"{seed}:delivery")
         self.flows: Dict[int, FlowRecord] = {}
+        # Optional audit trace ring (set by repro.audit.Auditor).
+        self.audit_ring = None
 
     # -- flow bookkeeping ------------------------------------------------------
 
@@ -105,12 +163,27 @@ class NetStats:
 
     def add_rtt_sample(self, rtt_ns: int, group: str) -> None:
         samples = self.rtt_samples_fg if group == "fg" else self.rtt_samples_bg
-        if len(samples) < MAX_SAMPLES:
-            samples.append(rtt_ns)
+        samples.add(rtt_ns)
 
     def add_delivery_sample(self, delivery_ns: int) -> None:
-        if len(self.delivery_samples) < MAX_SAMPLES:
-            self.delivery_samples.append(delivery_ns)
+        self.delivery_samples.add(delivery_ns)
+
+    def count_drop(self, packet) -> None:
+        """Account one switch drop, split by color and packet kind."""
+        self.drop_bytes += packet.size
+        is_data = packet.kind == PacketKind.DATA
+        if packet.color == Color.RED:
+            self.drops_red += 1
+            if is_data:
+                self.drops_red_data += 1
+            else:
+                self.drops_red_ctrl += 1
+        else:
+            self.drops_green += 1
+            if is_data:
+                self.drops_green_data += 1
+            else:
+                self.drops_green_ctrl += 1
 
     # -- derived metrics ---------------------------------------------------------
 
@@ -151,10 +224,15 @@ class NetStats:
         return 1000.0 * self.pause_frames / flows
 
     def important_loss_rate(self) -> float:
-        """Loss rate of important (green) data packets."""
+        """Loss rate of important (green) *data* packets.
+
+        Numerator and denominator both count data packets only:
+        control packets (SYN/ACK/FIN/NACK/CNP) are forced green but are
+        not part of the green data volume Table 1 reports on.
+        """
         if self.green_data_packets == 0:
             return 0.0
-        return self.drops_green / self.green_data_packets
+        return self.drops_green_data / self.green_data_packets
 
     def important_fraction_bytes(self) -> float:
         """Fraction of transmitted data volume marked important."""

@@ -60,6 +60,8 @@ class PfcEngine:
         self._refresh_events: Dict[int, object] = {}
         self.pause_frames_sent = 0
         self.resume_frames_sent = 0
+        # Optional audit trace ring (set by repro.audit.Auditor).
+        self.audit_ring = None
 
     # -- accounting ------------------------------------------------------------
 
@@ -89,6 +91,12 @@ class PfcEngine:
         port.send_pause(duration)
         self.pause_frames_sent += 1
         self.switch.stats.pause_frames += 1
+        if self.audit_ring is not None:
+            self.audit_ring.record(
+                "pfc_pause", device=self.switch.name, port=port_no,
+                time_ns=self.engine.now,
+                info=self.ingress_bytes.get(port_no, 0),
+            )
         # Refresh before the quanta expire, as real switches do while
         # the ingress stays above XOFF.
         event = self.engine.schedule(duration // 2, self._send_pause, port_no)
@@ -102,3 +110,9 @@ class PfcEngine:
         self.switch.ports[port_no].send_pause(0)
         self.resume_frames_sent += 1
         self.switch.stats.resume_frames += 1
+        if self.audit_ring is not None:
+            self.audit_ring.record(
+                "pfc_resume", device=self.switch.name, port=port_no,
+                time_ns=self.engine.now,
+                info=self.ingress_bytes.get(port_no, 0),
+            )

@@ -81,6 +81,9 @@ class Switch(Device):
         # Local drop counters (stats also aggregates network-wide).
         self.drops_red = 0
         self.drops_green = 0
+        # Optional runtime invariant auditor (repro.audit.Auditor); None
+        # keeps the data path hook-free.
+        self.audit = None
 
     # -- construction ------------------------------------------------------------
 
@@ -124,23 +127,26 @@ class Switch(Device):
             and queue.red_bytes + size > k
             and (self.config.color_classes is None or tclass in self.config.color_classes)
         ):
-            self._drop(packet)
+            self._drop(packet, "color", queue)
             return
 
         # 2. Dynamic-threshold admission (per-port occupancy across classes).
         port_occupancy = sum(q.occupancy for q in port_queues)
         if self.pfc is None:
             if not self.buffer.admits(port_occupancy, size):
-                self._drop(packet)
+                reason = "pool" if self.buffer.used + size > self.buffer.capacity else "dynamic"
+                self._drop(packet, reason, queue, port_occupancy)
                 return
         else:
             # Lossless class: only true pool exhaustion drops.
             if self.buffer.used + size > self.buffer.capacity:
-                self._drop(packet)
+                self._drop(packet, "pool", queue, port_occupancy)
                 return
 
         self.buffer.reserve(size)
         queue.push(packet, in_port.port_no)
+        if self.audit is not None:
+            self.audit.on_enqueue(self, packet, egress_no)
 
         # 3. ECN marking on the instantaneous queue length.
         ecn = self.config.ecn
@@ -171,6 +177,8 @@ class Switch(Device):
             return None
         packet, ingress_no = entry
         self.buffer.release(packet.size)
+        if self.audit is not None:
+            self.audit.on_dequeue(self, packet, port.port_no)
         if self.pfc is not None:
             self.pfc.on_release(ingress_no, packet.size)
         if (
@@ -186,14 +194,18 @@ class Switch(Device):
 
     # -- helpers ---------------------------------------------------------------------
 
-    def _drop(self, packet: Packet) -> None:
-        self.stats.drop_bytes += packet.size
+    def _drop(self, packet: Packet, reason: str, queue: EgressQueue,
+              port_occupancy: Optional[int] = None) -> None:
+        """Account a dropped packet. ``reason`` is one of ``"color"``
+        (red over threshold K), ``"dynamic"`` (dynamic threshold) or
+        ``"pool"`` (shared pool exhausted)."""
+        self.stats.count_drop(packet)
         if packet.color == Color.RED:
             self.drops_red += 1
-            self.stats.drops_red += 1
         else:
             self.drops_green += 1
-            self.stats.drops_green += 1
+        if self.audit is not None:
+            self.audit.on_drop(self, packet, queue, reason, port_occupancy)
 
     def total_queued_bytes(self) -> int:
         return self.buffer.used

@@ -464,6 +464,11 @@ class RoceSender:
     def _on_timeout(self) -> None:
         self.record.timeouts += 1
         self.stats.timeouts += 1
+        if self.stats.audit_ring is not None:
+            self.stats.audit_ring.record(
+                "rto_fire", flow=self.spec.flow_id, time_ns=self.engine.now,
+                info=self.rto.current,
+            )
         self.rto.backoff()
         self.dupacks = 0
         first = None

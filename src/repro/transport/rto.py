@@ -10,6 +10,16 @@ from __future__ import annotations
 from repro.sim.units import MICROS, MILLIS
 
 
+def _div_rtz(value: int, divisor: int) -> int:
+    """Integer division rounding toward zero (RFC 6298 EWMA steps).
+
+    Python's ``//`` floors toward -inf, so a negative EWMA delta like
+    ``-1 // 8 == -1`` would systematically drag SRTT/RTTVAR low.
+    """
+    quotient = abs(value) // divisor
+    return quotient if value >= 0 else -quotient
+
+
 class RtoEstimator:
     """Tracks SRTT/RTTVAR and produces the current RTO."""
 
@@ -39,8 +49,8 @@ class RtoEstimator:
             self.rttvar = rtt_ns // 2
         else:
             delta = abs(self.srtt - rtt_ns)
-            self.rttvar += (delta - self.rttvar) // 4
-            self.srtt += (rtt_ns - self.srtt) // 8
+            self.rttvar += _div_rtz(delta - self.rttvar, 4)
+            self.srtt += _div_rtz(rtt_ns - self.srtt, 8)
         self.backoff_count = 0
 
     @property

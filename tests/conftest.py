@@ -5,6 +5,11 @@ result cache disabled, so the suite stays hermetic: no artifacts leak
 into (or are served stale from) ``~/.cache/tlt-repro``, and a test
 that calls ``parallel.configure`` cannot affect its neighbours. Tests
 that exercise the cache pass an explicit ``cache_dir``/``cache``.
+
+The runtime invariant auditor (``repro.audit``) is enabled for every
+scenario run in the suite: any violated simulation invariant fails the
+test with an :class:`repro.audit.AuditError` and an event trace. A test
+that needs an un-audited run sets ``ScenarioConfig(audit=False)``.
 """
 
 import pytest
@@ -13,7 +18,8 @@ from repro.experiments import parallel
 
 
 @pytest.fixture(autouse=True)
-def _hermetic_execution(tmp_path):
+def _hermetic_execution(tmp_path, monkeypatch):
+    monkeypatch.setenv("TLT_AUDIT", "1")
     with parallel.execution(jobs=1, use_cache=False,
                             cache_dir=str(tmp_path / "tlt-cache")):
         yield

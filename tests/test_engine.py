@@ -51,6 +51,45 @@ def test_run_until_advances_clock_when_queue_drains():
     assert engine.now == 500
 
 
+def test_run_until_advances_clock_past_no_events():
+    # Regression: with the next event beyond the horizon, run(until=...)
+    # used to return with now still at its old value, so back-to-back
+    # run(until=...) windows drifted from wall-of-simulated-time.
+    engine = Engine()
+    fired = []
+    engine.schedule(100, fired.append, 1)
+    assert engine.run(until=50) == 0
+    assert engine.now == 50
+    assert fired == []
+    engine.run(until=150)
+    assert fired == [1]
+    assert engine.now == 150
+
+
+def test_run_until_with_cancelled_head_still_advances():
+    engine = Engine()
+    early = engine.schedule(60, lambda: None)
+    engine.schedule(150, lambda: None)
+    early.cancel()
+    engine.run(until=100)
+    assert engine.now == 100
+
+
+def test_run_until_not_past_unprocessed_events_on_max_events():
+    # max_events may stop the run early; the clock must not jump over
+    # events that were due at or before the horizon.
+    engine = Engine()
+    fired = []
+    engine.schedule(10, fired.append, 1)
+    engine.schedule(20, fired.append, 2)
+    engine.run(until=100, max_events=1)
+    assert fired == [1]
+    assert engine.now == 10
+    engine.run(until=100)
+    assert fired == [1, 2]
+    assert engine.now == 100
+
+
 def test_cancelled_event_is_skipped():
     engine = Engine()
     fired = []

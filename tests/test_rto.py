@@ -32,6 +32,32 @@ def test_rto_clamped_to_maximum():
     assert rto.base_rto == 10 * MILLIS
 
 
+def test_ewma_rounds_toward_zero():
+    # Regression: RFC 6298's EWMA steps use integer division toward
+    # zero. Python's floor division drags a negative delta one tick
+    # low (-7 // 8 == -1), so a stream of samples a hair under SRTT
+    # used to bleed SRTT/RTTVAR downward and under-shoot the RTO.
+    rto = RtoEstimator(rto_min=1)
+    rto.on_rtt_sample(1000)
+    assert rto.srtt == 1000
+    assert rto.rttvar == 500
+    rto.on_rtt_sample(993)
+    # srtt step: (993 - 1000) / 8 rounds to 0, not -1 (pre-fix: 999).
+    assert rto.srtt == 1000
+    # rttvar step: (7 - 500) / 4 rounds to -123, not -124 (pre-fix: 376).
+    assert rto.rttvar == 377
+
+
+def test_ewma_no_systematic_downward_bias():
+    # Samples alternating ±1 ns around a stable RTT must not walk SRTT
+    # away from it (floor division loses 1 ns on every negative delta).
+    rto = RtoEstimator(rto_min=1)
+    rto.on_rtt_sample(1_000_000)
+    for i in range(400):
+        rto.on_rtt_sample(1_000_001 if i % 2 else 999_999)
+    assert abs(rto.srtt - 1_000_000) <= 2
+
+
 def test_variance_shrinks_with_stable_rtt():
     rto = RtoEstimator(rto_min=1)
     for _ in range(100):

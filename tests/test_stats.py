@@ -1,7 +1,14 @@
 """Tests for the stats collector and percentile helpers."""
 
-from repro.stats.collector import NetStats
+from repro.net.packet import Color, Packet, PacketKind
+from repro.stats.collector import NetStats, Reservoir
 from repro.stats.percentile import percentile, summarize
+
+
+def _packet(color: Color, kind: PacketKind, size: int) -> Packet:
+    packet = Packet(1, 0, 1, kind, seq=0, payload=max(0, size - 48), size=size)
+    packet.color = color
+    return packet
 
 
 def test_percentile_basic():
@@ -57,8 +64,40 @@ def test_important_loss_rate():
     stats = NetStats()
     assert stats.important_loss_rate() == 0.0
     stats.green_data_packets = 1000
-    stats.drops_green = 1
+    stats.drops_green_data = 1
     assert stats.important_loss_rate() == 0.001
+
+
+def test_important_loss_rate_excludes_control_drops():
+    # A dropped green *control* packet (ACKs are forced green) must not
+    # count against the green *data* send volume: the pre-fix counter
+    # lumped both into the numerator while the denominator only counted
+    # data packets.
+    stats = NetStats()
+    stats.green_data_packets = 1000
+    stats.count_drop(_packet(Color.GREEN, PacketKind.ACK, size=60))
+    assert stats.drops_green == 1
+    assert stats.drops_green_ctrl == 1
+    assert stats.drops_green_data == 0
+    assert stats.important_loss_rate() == 0.0
+    stats.count_drop(_packet(Color.GREEN, PacketKind.DATA, size=1460))
+    assert stats.drops_green_data == 1
+    assert stats.important_loss_rate() == 0.001
+
+
+def test_count_drop_splits_by_color_and_kind():
+    stats = NetStats()
+    stats.count_drop(_packet(Color.GREEN, PacketKind.DATA, size=1460))
+    stats.count_drop(_packet(Color.RED, PacketKind.DATA, size=1460))
+    stats.count_drop(_packet(Color.RED, PacketKind.DATA, size=1460))
+    stats.count_drop(_packet(Color.GREEN, PacketKind.NACK, size=60))
+    assert stats.drops_green == 2
+    assert stats.drops_red == 2
+    assert stats.drops_green_data == 1
+    assert stats.drops_red_data == 2
+    assert stats.drops_green_ctrl == 1
+    assert stats.drops_red_ctrl == 0
+    assert stats.drop_bytes == 1460 * 3 + 60
 
 
 def test_important_fraction():
@@ -78,20 +117,60 @@ def test_incomplete_flows():
     assert stats.incomplete_flows("bg") == 0
 
 
-def test_sample_reservoir_caps():
+def test_sample_reservoir_caps(monkeypatch):
     from repro.stats import collector
 
+    # The reservoirs freeze their capacity at NetStats construction, so
+    # the cap must be patched before building the collector.
+    monkeypatch.setattr(collector, "MAX_SAMPLES", 10)
     stats = NetStats()
-    original = collector.MAX_SAMPLES
-    collector.MAX_SAMPLES = 10
-    try:
-        for i in range(100):
-            stats.add_rtt_sample(i, "fg")
-            stats.add_delivery_sample(i)
-    finally:
-        collector.MAX_SAMPLES = original
+    for i in range(100):
+        stats.add_rtt_sample(i, "fg")
+        stats.add_delivery_sample(i)
     assert len(stats.rtt_samples_fg) == 10
     assert len(stats.delivery_samples) == 10
+    assert stats.rtt_samples_fg.seen == 100
+
+
+def test_reservoir_uniform_not_keep_first():
+    # Keep-first-N truncation would retain exactly range(10); Algorithm R
+    # keeps a uniform sample, so late elements must appear.
+    res = Reservoir(10, seed="t")
+    for i in range(1000):
+        res.add(i)
+    assert len(res) == 10
+    assert res.seen == 1000
+    assert any(v >= 10 for v in res), "reservoir degenerated to keep-first-N"
+    assert all(0 <= v < 1000 for v in res)
+
+
+def test_reservoir_deterministic_per_seed():
+    def fill(seed):
+        res = Reservoir(8, seed=seed)
+        for i in range(500):
+            res.add(i)
+        return list(res)
+
+    assert fill("a") == fill("a")
+    assert fill("a") != fill("b")
+
+
+def test_reservoir_sequence_protocol():
+    res = Reservoir(16, seed=0)
+    for i in range(5):
+        res.add(i * 10)
+    # Below capacity the reservoir holds the stream verbatim, in order.
+    assert len(res) == 5
+    assert list(res) == [0, 10, 20, 30, 40]
+    assert res[2] == 20
+    assert res[-1] == 40
+
+
+def test_reservoir_rejects_bad_capacity():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Reservoir(0)
 
 
 def test_goodput():
