@@ -26,12 +26,26 @@ def bench_scale() -> str:
 
 @pytest.fixture(autouse=True, scope="session")
 def bench_execution():
-    """Benchmark-wide execution context: optional parallelism, no cache."""
-    with parallel.execution(
-        jobs=max(1, int(os.environ.get("TLT_BENCH_JOBS", "1"))),
-        use_cache=os.environ.get("TLT_BENCH_CACHE", "0") == "1",
-    ):
-        yield
+    """Benchmark-wide execution context: optional parallelism, no cache.
+
+    The runtime invariant auditor is switched off explicitly: audited
+    switches run the hooked data-path variants, and a benchmark taken
+    with ``TLT_AUDIT`` leaking in from the environment would silently
+    measure the wrong code path.
+    """
+    prev_audit = os.environ.get("TLT_AUDIT")
+    os.environ["TLT_AUDIT"] = "0"
+    try:
+        with parallel.execution(
+            jobs=max(1, int(os.environ.get("TLT_BENCH_JOBS", "1"))),
+            use_cache=os.environ.get("TLT_BENCH_CACHE", "0") == "1",
+        ):
+            yield
+    finally:
+        if prev_audit is None:
+            os.environ.pop("TLT_AUDIT", None)
+        else:
+            os.environ["TLT_AUDIT"] = prev_audit
 
 
 @pytest.fixture

@@ -75,3 +75,55 @@ def test_incast_simulation_rate(benchmark, record_events):
 
     events = benchmark(run_incast)
     record_events(benchmark, events)
+
+
+def test_timer_churn_throughput(benchmark, record_events):
+    """Chained events that each re-arm a coarse timer — the RTO pattern
+    (schedule, then cancel-and-reschedule on every ACK). Exercises the
+    timer wheel's O(1) cancel/re-add path; before the wheel, every
+    re-arm left a dead entry in the heap."""
+
+    def run_churn():
+        engine = Engine()
+        state = {"timer": None, "fired": 0}
+
+        def on_timeout():
+            state["fired"] += 1
+
+        def chain(n):
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            state["timer"] = engine.schedule_timer(1_000_000, on_timeout)
+            if n:
+                engine.schedule(100, chain, n - 1)
+
+        engine.schedule(0, chain, 50_000)
+        engine.run()
+        # Every re-arm cancelled its predecessor; only the last fires.
+        assert state["fired"] == 1
+        return engine.events_processed
+
+    events = benchmark(run_churn)
+    record_events(benchmark, events)
+    assert events == 50_002
+
+
+def test_packet_alloc_churn(benchmark, record_events):
+    """Many small flows through one switch: allocation-dominated — every
+    data packet and ACK goes through the free-list packet pool, and the
+    segment scoreboards churn. Catches regressions in alloc/recycle."""
+
+    def run_flows():
+        net = _star(num_hosts=5)
+        config = TransportConfig(base_rtt_ns=4_000)
+        for i in range(48):
+            spec = FlowSpec(
+                flow_id=net.new_flow_id(), src=i % 4 + 1, dst=0, size=16_000
+            )
+            create_flow("tcp", net, spec, config)
+        net.engine.run(until=2_000_000_000)
+        assert net.stats.incomplete_flows() == 0
+        return net.engine.events_processed
+
+    events = benchmark(run_flows)
+    record_events(benchmark, events)

@@ -79,7 +79,7 @@ class Auditor:
             return self
         self._installed = True
         for switch in self.net.switches:
-            switch.audit = self
+            switch.set_auditor(self)
             if switch.pfc is not None:
                 switch.pfc.audit_ring = self.ring
         self.net.stats.audit_ring = self.ring
@@ -93,7 +93,7 @@ class Auditor:
         self._installed = False
         for switch in self.net.switches:
             if switch.audit is self:
-                switch.audit = None
+                switch.set_auditor(None)
             if switch.pfc is not None and switch.pfc.audit_ring is self.ring:
                 switch.pfc.audit_ring = None
         if self.net.stats.audit_ring is self.ring:

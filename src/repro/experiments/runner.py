@@ -15,6 +15,8 @@ from the on-disk result cache (disable with ``--no-cache``; see
 ``repro.experiments.cache``). ``bench-report`` times every experiment
 and writes a machine-readable ``BENCH_*.json`` with wall time and
 simulated events/sec — the input of ``tools/check_bench_regression.py``.
+``--profile`` wraps a run in :class:`repro.sim.profiler.Profiler` and
+writes ``profile_<id>.pstats`` + ``profile_<id>.json``.
 """
 
 from __future__ import annotations
@@ -88,18 +90,30 @@ def _print_rows(module, result) -> None:
 def _run_one(name: str, args) -> None:
     module = importlib.import_module(EXPERIMENTS[name])
     started = time.time()
-    if args.csv or (args.seeds or 1) > 1:
-        result = _call_run(module, args.scale, args.seeds or 1)
-        if args.csv:
-            parts = result if isinstance(result, dict) else {None: result}
-            for part, rows in parts.items():
-                suffix = f"_{part}" if part else ""
-                path = rows_to_csv(rows, f"{args.csv}/{name}{suffix}.csv")
-                print(f"wrote {path}")
+
+    def execute() -> None:
+        if args.csv or (args.seeds or 1) > 1:
+            result = _call_run(module, args.scale, args.seeds or 1)
+            if args.csv:
+                parts = result if isinstance(result, dict) else {None: result}
+                for part, rows in parts.items():
+                    suffix = f"_{part}" if part else ""
+                    path = rows_to_csv(rows, f"{args.csv}/{name}{suffix}.csv")
+                    print(f"wrote {path}")
+            else:
+                _print_rows(module, result)
         else:
-            _print_rows(module, result)
+            module.main(scale=args.scale)
+
+    if args.profile:
+        from repro.sim.profiler import Profiler
+
+        with Profiler(tag=name, out_dir=args.profile_dir) as profiler:
+            execute()
+        print(f"wrote {profiler.pstats_path}")
+        print(f"wrote {profiler.json_path}")
     else:
-        module.main(scale=args.scale)
+        execute()
     print(f"[{name} completed in {time.time() - started:.1f}s]\n")
 
 
@@ -161,6 +175,14 @@ def main(argv=None) -> int:
     parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="kill+retry a single run after this many seconds "
                              "(forces worker processes)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the run: wraps it in cProfile + the "
+                             "engine's per-callback attribution and writes "
+                             "profile_<id>.pstats and profile_<id>.json "
+                             "(forces --jobs 1 and --no-cache so the work "
+                             "actually happens in this process)")
+    parser.add_argument("--profile-dir", default=".", metavar="DIR",
+                        help="directory for --profile output files (default: .)")
     parser.add_argument("--audit", action="store_true",
                         help="run with the runtime invariant auditor attached "
                              "(raises AuditError with a trace dump on any "
@@ -185,6 +207,12 @@ def main(argv=None) -> int:
     if args.audit:
         # Via the environment so pool workers (fork or spawn) inherit it.
         os.environ["TLT_AUDIT"] = "1"
+
+    if args.profile:
+        # Worker processes would escape the profiler, and cache hits
+        # would leave it nothing to measure.
+        args.jobs = 1
+        args.no_cache = True
 
     parallel.configure(
         jobs=args.jobs,

@@ -20,6 +20,7 @@ Paper defaults encoded here:
 
 from __future__ import annotations
 
+import gc
 import os
 import random
 import time
@@ -315,9 +316,17 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
 
     net.engine.schedule(config.queue_sample_interval_ns, sample_queues)
     hard_cap = config.hard_cap_ns or (horizon + 10 * config.drain_ns)
-    net.engine.run(until=horizon)
-    while net.stats.incomplete_flows() and net.engine.now < hard_cap and net.engine.pending:
-        net.engine.run(until=min(net.engine.now + 50 * MILLIS, hard_cap))
+    # The topology, transports and traffic schedule built above are
+    # long-lived: move them to the GC's permanent generation so young-
+    # generation collections during the run never traverse them.
+    gc.collect()
+    gc.freeze()
+    try:
+        net.engine.run(until=horizon)
+        while net.stats.incomplete_flows() and net.engine.now < hard_cap and net.engine.pending:
+            net.engine.run(until=min(net.engine.now + 50 * MILLIS, hard_cap))
+    finally:
+        gc.unfreeze()
 
     if auditor is not None:
         auditor.final_check()

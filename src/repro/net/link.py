@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from heapq import heappush
+
 from repro.sim.engine import Engine
 from repro.sim.units import tx_time_ns
 
@@ -62,6 +64,11 @@ class Port:
 
     # -- transmission ----------------------------------------------------------
 
+    # The serialization/propagation events below push bare anonymous
+    # entries straight onto the engine heap (the documented layout of
+    # Engine.schedule_anon) instead of calling it: these two or three
+    # pushes per transmitted packet are the simulator's innermost loop.
+
     def kick(self) -> None:
         """Try to start transmitting the owner's next packet."""
         if self.busy or self.paused:
@@ -72,14 +79,40 @@ class Port:
         self.busy = True
         self.tx_bytes += packet.size
         self.tx_packets += 1
-        self.engine.schedule(tx_time_ns(packet.size, self.rate_bps), self._tx_done, packet)
+        engine = self.engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(
+            engine._queue,
+            (engine.now + tx_time_ns(packet.size, self.rate_bps), seq, self._tx_done, (packet,)),
+        )
 
     def _tx_done(self, packet: "Packet") -> None:
+        engine = self.engine
         peer = self.peer
         if peer is not None:
-            self.engine.schedule(self.delay_ns, peer.owner.receive, packet, peer)
+            seq = engine._seq
+            engine._seq = seq + 1
+            heappush(
+                engine._queue,
+                (engine.now + self.delay_ns, seq, peer.owner.receive, (packet, peer)),
+            )
         self.busy = False
-        self.kick()
+        # Inlined kick() — this runs once per transmitted packet.
+        if self.paused:
+            return
+        packet = self.owner.poll(self)
+        if packet is None:
+            return
+        self.busy = True
+        self.tx_bytes += packet.size
+        self.tx_packets += 1
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(
+            engine._queue,
+            (engine.now + tx_time_ns(packet.size, self.rate_bps), seq, self._tx_done, (packet,)),
+        )
 
     # -- PFC -------------------------------------------------------------------
 
@@ -88,7 +121,7 @@ class Port:
         peer = self.peer
         if peer is None:
             return
-        self.engine.schedule(self.delay_ns, peer.owner.receive_pause, duration_ns, peer)
+        self.engine.schedule_anon(self.delay_ns, peer.owner.receive_pause, duration_ns, peer)
 
     def apply_pause(self, duration_ns: int) -> None:
         """React to a received PAUSE frame on this (transmitting) port."""
@@ -102,7 +135,7 @@ class Port:
             self._pause_started = now
         if self._pause_timer is not None:
             self._pause_timer.cancel()
-        self._pause_timer = self.engine.schedule(duration_ns, self._pause_expired)
+        self._pause_timer = self.engine.schedule_timer(duration_ns, self._pause_expired)
 
     def _pause_expired(self) -> None:
         self._pause_timer = None

@@ -6,7 +6,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Optional
 
 from repro.net.link import Port
-from repro.net.packet import Packet
+from repro.net.packet import Packet, recycle
 from repro.sim.engine import Engine
 
 
@@ -72,6 +72,9 @@ class Host(Device):
         self.host_id = host_id
         self.nic = HostNic(self)
         self.endpoints: Dict[int, "SupportsOnPacket"] = {}
+        # Bound-method alias for the per-delivery demux lookup (the
+        # dict itself is mutated in place, so the binding stays valid).
+        self._endpoint_for = self.endpoints.get
         self.port: Optional[Port] = None  # set by topology builder
 
     def attach_port(self, rate_bps: int, delay_ns: int) -> Port:
@@ -81,13 +84,17 @@ class Host(Device):
     # -- device interface ------------------------------------------------------
 
     def receive(self, packet: Packet, in_port: Port) -> None:
-        endpoint = self.endpoints.get(packet.flow_id)
+        endpoint = self._endpoint_for(packet.flow_id)
         if endpoint is not None:
             endpoint.on_packet(packet)
+        # The host is the packet's sink: return it to the free list once
+        # the endpoint handler is done with it.
+        recycle(packet)
 
     def poll(self, port: Port) -> Optional[Packet]:
-        if self.nic.queue:
-            return self.nic.queue.popleft()
+        queue = self.nic.queue
+        if queue:
+            return queue.popleft()
         return None
 
     # -- transport helpers --------------------------------------------------------
@@ -100,7 +107,13 @@ class Host(Device):
 
     def send(self, packet: Packet) -> None:
         """Queue a packet on the NIC for transmission."""
-        self.nic.enqueue(packet)
+        # Flattened nic.enqueue: this is once-per-packet-sent. The
+        # busy-guard is hoisted out of kick(): while a burst drains, every
+        # send after the first finds the port mid-serialization.
+        self.nic.queue.append(packet)
+        port = self.port
+        if not port.busy and not port.paused:
+            port.kick()
 
 
 class SupportsOnPacket:

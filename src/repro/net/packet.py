@@ -100,6 +100,7 @@ class Packet:
         "ts_echo",
         "int_records",
         "int_echo",
+        "_pooled",
     )
 
     def __init__(
@@ -140,6 +141,7 @@ class Packet:
         self.ts_echo = 0
         self.int_records: Optional[List[IntRecord]] = None
         self.int_echo: Optional[List[IntRecord]] = None
+        self._pooled = False
 
     def add_int_record(self, record: IntRecord) -> None:
         """Append an INT record (used by HPCC-enabled switches)."""
@@ -153,3 +155,66 @@ class Packet:
             f"pl={self.payload}, ack={self.ack}, mark={self.mark.name}, "
             f"color={self.color.name})"
         )
+
+
+# -- packet pool ----------------------------------------------------------------
+#
+# Transports allocate a Packet per transmission; at tens of thousands of
+# packets per simulated millisecond the allocator and GC dominate. The
+# free list recycles packets at their two terminal points — sink
+# delivery (Host.receive, after the endpoint handler returns) and switch
+# drop — and reinitialises on *allocation*, so a recycled packet's
+# fields stay readable until the object is actually reused (tests and
+# trace rings that inspect a delivered packet keep working).
+#
+# A recycled packet's ``int_records`` list may still be aliased by an
+# ACK's ``int_echo`` (HPCC); reinitialisation only drops the reference,
+# never mutates the list, so those aliases stay valid.
+
+_POOL: List[Packet] = []
+_POOL_MAX = 4096
+_pool_enabled = True
+
+
+def set_pooling(enabled: bool) -> None:
+    """Enable/disable packet recycling globally.
+
+    Disabling also empties the free list, so packet objects already
+    handed out (e.g. retained by a :class:`repro.sim.trace.PacketTracer`)
+    are never reused behind the holder's back.
+    """
+    global _pool_enabled
+    _pool_enabled = enabled
+    if not enabled:
+        _POOL.clear()
+
+
+def alloc_packet(
+    flow_id: int,
+    src: int,
+    dst: int,
+    kind: PacketKind,
+    seq: int = 0,
+    payload: int = 0,
+    ack: int = 0,
+    size: Optional[int] = None,
+) -> Packet:
+    """Pool-aware :class:`Packet` constructor (same signature)."""
+    if _POOL:
+        packet = _POOL.pop()
+        packet.__init__(flow_id, src, dst, kind, seq, payload, ack, size)
+        return packet
+    return Packet(flow_id, src, dst, kind, seq, payload, ack, size)
+
+
+def recycle(packet: Packet) -> None:
+    """Return a packet that left the network to the free list.
+
+    Idempotent per lifetime (``_pooled`` guards double-recycle); a
+    no-op when pooling is disabled or the free list is full.
+    """
+    if packet._pooled or not _pool_enabled:
+        return
+    packet._pooled = True
+    if len(_POOL) < _POOL_MAX:
+        _POOL.append(packet)

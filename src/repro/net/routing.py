@@ -37,6 +37,8 @@ class Fib:
     def lookup(self, dst_host: int, flow_id: int) -> int:
         """Egress port number for ``dst_host``, ECMP-selected by flow."""
         ports = self._routes[dst_host]
+        if len(ports) == 1:
+            return ports[0]
         return ports[ecmp_index(flow_id, self.switch_id, len(ports))]
 
     def has_route(self, dst_host: int) -> bool:

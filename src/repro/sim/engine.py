@@ -4,18 +4,67 @@ A single binary heap orders events by ``(time, sequence)``. The sequence
 number breaks ties deterministically in scheduling order, which makes a
 whole simulation a pure function of its inputs and RNG seeds.
 
+Hot-path layout: heap entries are plain ``(time, seq, event)`` tuples.
+``seq`` is unique per engine, so ``heapq``'s sift compares never reach
+the third element — every comparison is a C-level int compare instead
+of a Python ``__lt__`` call. The :class:`Event` object is only the
+cancellation handle riding along in the tuple.
+
 Events are callbacks. Cancellation is done lazily (the event is flagged
-and skipped when popped) which keeps the heap operations O(log n).
+and skipped when popped) which keeps heap operations O(log n); the
+engine counts dead heap entries and compacts the heap in place when
+more than half of it is cancelled, so timer-churn-heavy runs do not
+hold O(all-cancelled-events) memory.
+
+Coarse, frequently rescheduled timers (RTOs, PFC pause expiry, DCQCN
+rate timers) should use :meth:`Engine.schedule_timer`, which parks them
+in a hierarchical timer wheel (:mod:`repro.sim.timerwheel`) instead of
+the heap. A wheel timer that is cancelled before its slot comes due —
+the overwhelmingly common case for retransmission timers — never
+touches the heap at all. Timers fire in exactly the same ``(time,
+seq)`` order the heap would have used, so results are bit-identical.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, List, Optional
+from time import perf_counter_ns
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.timerwheel import NEVER, TimerWheel
 
 
 class SimulationError(RuntimeError):
     """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+#: GC thresholds applied while ``Engine.run`` executes (restored on
+#: exit). The simulator allocates acyclic objects (events, packets,
+#: tuples) at a very high rate; the CPython default gen-0 threshold of
+#: 700 makes the collector scan the young generation tens of thousands
+#: of times per simulated second for nothing. On top of the thresholds
+#: the cyclic collector itself is paused for the duration of the run:
+#: everything the hot path allocates (heap tuples, events, pooled
+#: packets, segments) is acyclic and dies by refcount; reference cycles
+#: only exist among long-lived topology objects, which outlive the run
+#: anyway and are swept by the caller's collector afterwards.
+_GC_RUN_THRESHOLDS = (100_000, 20, 20)
+
+#: When not ``None``, ``Engine.run`` attributes wall time per event
+#: callback into this table as ``{qualname: [calls, total_ns]}``. Set
+#: via :func:`set_attribution` (used by :mod:`repro.sim.profiler`).
+_ATTRIBUTION: Optional[Dict[str, List[int]]] = None
+
+
+def set_attribution(table: Optional[Dict[str, List[int]]]) -> None:
+    """Install (or clear) the global per-callback attribution table.
+
+    Takes effect on the next :meth:`Engine.run` call; the un-attributed
+    hot loop pays nothing for the feature.
+    """
+    global _ATTRIBUTION
+    _ATTRIBUTION = table
 
 
 class Event:
@@ -24,18 +73,25 @@ class Event:
     Use :meth:`cancel` to revoke it; cancelled events are skipped.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "in_wheel", "engine")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple,
+                 engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.in_wheel = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Revoke the event. Safe to call more than once or after firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.engine is not None:
+            self.engine._note_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -44,18 +100,26 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time} #{self.seq} {getattr(self.fn, '__qualname__', self.fn)}{state}>"
+        where = " wheel" if self.in_wheel else ""
+        return f"<Event t={self.time} #{self.seq} {getattr(self.fn, '__qualname__', self.fn)}{where}{state}>"
 
 
 class Engine:
     """Discrete-event simulation engine with an integer-nanosecond clock."""
 
+    #: Heap compaction trigger: compact when at least this many dead
+    #: entries make up more than half of the heap.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
-        self._queue: List[Event] = []
+        self._queue: list = []  # (time, seq, Event) tuples
         self._seq = 0
         self.now: int = 0
         self._running = False
         self._events_processed = 0
+        self._heap_dead = 0  # cancelled entries still in the heap
+        self._wheel_min = NEVER  # earliest occupied wheel slot start
+        self._wheel = TimerWheel(self)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -63,7 +127,12 @@ class Engine:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        return event
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated time ``time`` ns."""
@@ -71,10 +140,74 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
-        event = Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
+
+    def schedule_anon(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` with no cancellation handle.
+
+        For internal hot paths (packet serialization/propagation) that
+        never cancel: the heap entry is a bare ``(time, seq, fn, args)``
+        tuple, skipping :class:`Event` allocation. Ordering is identical
+        to :meth:`schedule` — the same seq counter is used.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self.now + delay, seq, fn, args))
+
+    def schedule_timer(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule a coarse timer ``delay`` ns from now.
+
+        Semantically identical to :meth:`schedule` — same ``(time,
+        seq)`` firing order, same :class:`Event` handle — but the event
+        is parked in the hierarchical timer wheel until its slot comes
+        due. Use it for timers that are usually cancelled or
+        rescheduled before firing (RTOs, PFC pause expiry, DCQCN rate
+        timers): cancel/reschedule then costs O(1) and never floods the
+        heap with dead entries.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self.schedule_timer_at(self.now + delay, fn, *args)
+
+    def schedule_timer_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Absolute-time variant of :meth:`schedule_timer`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        self._wheel.add(event)
+        return event
+
+    # -- cancellation bookkeeping ---------------------------------------------
+
+    def _note_cancel(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel`; tracks dead entries and
+        compacts the heap when over half of it is cancelled."""
+        if event.in_wheel:
+            self._wheel.live -= 1
+            return
+        dead = self._heap_dead + 1
+        self._heap_dead = dead
+        if dead >= self.COMPACT_MIN_DEAD and dead * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place (the run
+        loop aliases the heap list, so the list object must survive).
+        Anonymous 4-tuple entries are never cancelled and always kept."""
+        queue = self._queue
+        queue[:] = [e for e in queue if len(e) == 4 or not e[2].cancelled]
+        heapq.heapify(queue)
+        self._heap_dead = 0
 
     # -- execution -----------------------------------------------------------
 
@@ -94,21 +227,69 @@ class Engine:
         self._running = True
         processed = 0
         queue = self._queue
+        wheel = self._wheel
+        pop = heapq.heappop
+        attr = _ATTRIBUTION
+        # Sentinels keep per-event None-checks out of the loop.
+        horizon = until if until is not None else NEVER
+        stop_at = max_events if max_events is not None else -1
+        gc_prev = gc.get_threshold()
+        gc_was_enabled = gc.isenabled()
+        gc.set_threshold(*_GC_RUN_THRESHOLDS)
+        gc.disable()
+        push = heapq.heappush
         try:
-            while queue:
-                event = queue[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(queue)
-                if event.cancelled:
-                    continue
-                self.now = event.time
-                event.fn(*event.args)
-                processed += 1
-                if max_events is not None and processed >= max_events:
-                    break
+            while True:
+                if queue:
+                    # Pop eagerly; the boundary cases (wheel slot due,
+                    # horizon reached) push the entry back. They happen
+                    # a handful of times per run, the pop per event.
+                    entry = pop(queue)
+                    time = entry[0]
+                    if self._wheel_min <= time:
+                        push(queue, entry)
+                        wheel.flush(time)
+                        continue
+                    if time > horizon:
+                        push(queue, entry)
+                        break
+                    if len(entry) == 4:
+                        fn = entry[2]
+                        args = entry[3]
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._heap_dead -= 1
+                            continue
+                        fn = event.fn
+                        args = event.args
+                    self.now = time
+                    if attr is None:
+                        fn(*args)
+                    else:
+                        t0 = perf_counter_ns()
+                        fn(*args)
+                        dt = perf_counter_ns() - t0
+                        key = getattr(fn, "__qualname__", None) or repr(fn)
+                        rec = attr.get(key)
+                        if rec is None:
+                            attr[key] = [1, dt]
+                        else:
+                            rec[0] += 1
+                            rec[1] += dt
+                    processed += 1
+                    if processed == stop_at:
+                        break
+                else:
+                    wmin = self._wheel_min
+                    if wmin == NEVER or wmin > horizon:
+                        break
+                    wheel.flush(wmin)
         finally:
             self._running = False
+            gc.set_threshold(*gc_prev)
+            if gc_was_enabled:
+                gc.enable()
         if until is not None and self.now < until:
             next_time = self.peek_time()
             if next_time is None or next_time > until:
@@ -124,8 +305,17 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* (not cancelled) events still queued,
+        including wheel-resident timers. Cancelled events awaiting lazy
+        removal are not counted."""
+        live = len(self._queue) - self._heap_dead + self._wheel.live
+        return live if live > 0 else 0
+
+    @property
+    def pending_total(self) -> int:
+        """Queued entries including cancelled ones awaiting lazy
+        removal — the actual memory footprint of the schedule."""
+        return len(self._queue) + self._wheel.total_entries()
 
     @property
     def events_processed(self) -> int:
@@ -134,6 +324,15 @@ class Engine:
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next live event, or None when idle."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while True:
+            while queue and len(queue[0]) == 3 and queue[0][2].cancelled:
+                heapq.heappop(queue)
+                self._heap_dead -= 1
+            wmin = self._wheel_min
+            if wmin == NEVER or (queue and queue[0][0] < wmin):
+                break
+            # A wheel slot may hold the earliest live event: flush it
+            # into the heap (cancelled wheel timers die here).
+            self._wheel.flush(queue[0][0] if queue else wmin)
+        return queue[0][0] if queue else None

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set, Tuple
 
+from repro.net.packet import set_pooling
+
 
 class TraceEvent:
     """One observed packet arrival at a device."""
@@ -48,6 +50,9 @@ class PacketTracer:
         self.max_events = max_events
         self.events: List[TraceEvent] = []
         self._wrapped: List[Tuple[object, object]] = []
+        # Trace events hold live Packet references; stop the pool from
+        # reinitialising them under us while the tracer is attached.
+        set_pooling(False)
         for device in list(net.switches) + list(net.hosts):
             self._wrap(device)
 

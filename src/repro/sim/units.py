@@ -9,6 +9,8 @@ Conventions used throughout the simulator:
 - **rates** — bits per second.
 """
 
+from functools import lru_cache
+
 # --- data sizes (decimal, matching the paper's arithmetic) -----------------
 KB = 1_000
 MB = 1_000_000
@@ -24,10 +26,13 @@ MILLIS = 1_000_000
 SECONDS = NS_PER_SEC
 
 
+@lru_cache(maxsize=1024)
 def tx_time_ns(size_bytes: int, rate_bps: int) -> int:
     """Serialization delay of ``size_bytes`` on a ``rate_bps`` link, in ns.
 
     Rounds up so that back-to-back packets never overlap on the wire.
+    Memoized: a simulation serializes millions of packets drawn from a
+    handful of ``(size, rate)`` combinations (MSS data, pure ACKs).
     """
     if rate_bps <= 0:
         raise ValueError(f"rate must be positive, got {rate_bps}")

@@ -38,7 +38,8 @@ class SharedBuffer:
         currently holding ``queue_occupancy`` bytes?"""
         if self.used + size > self.capacity:
             return False
-        return queue_occupancy < self.dynamic_threshold()
+        # dynamic_threshold(), inlined for the per-packet path.
+        return queue_occupancy < self.alpha * (self.capacity - self.used)
 
     def reserve(self, size: int) -> None:
         self.used += size

@@ -99,7 +99,7 @@ class PfcEngine:
             )
         # Refresh before the quanta expire, as real switches do while
         # the ingress stays above XOFF.
-        event = self.engine.schedule(duration // 2, self._send_pause, port_no)
+        event = self.engine.schedule_timer(duration // 2, self._send_pause, port_no)
         self._refresh_events[port_no] = event
 
     def _deassert_pause(self, port_no: int) -> None:

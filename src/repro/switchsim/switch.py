@@ -33,12 +33,12 @@ from typing import List, Optional, Tuple
 
 from repro.net.link import Port
 from repro.net.node import Device
-from repro.net.packet import Color, IntRecord, Packet, PacketKind
+from repro.net.packet import Color, IntRecord, Packet, PacketKind, recycle
 from repro.net.routing import Fib
 from repro.sim.engine import Engine
 from repro.stats.collector import NetStats
 from repro.switchsim.buffer import SharedBuffer
-from repro.switchsim.ecn import EcnScheme
+from repro.switchsim.ecn import EcnScheme, StepEcn
 from repro.switchsim.pfc import PfcConfig, PfcEngine
 from repro.switchsim.queue import EgressQueue
 
@@ -81,9 +81,13 @@ class Switch(Device):
         # Local drop counters (stats also aggregates network-wide).
         self.drops_red = 0
         self.drops_green = 0
-        # Optional runtime invariant auditor (repro.audit.Auditor); None
-        # keeps the data path hook-free.
+        # Optional runtime invariant auditor (repro.audit.Auditor).
+        # The data path comes in two variants — with and without audit
+        # hooks — bound to ``self.receive``/``self.poll`` so an
+        # un-audited run never tests ``audit is None`` per packet.
         self.audit = None
+        self.receive = self._receive_fast
+        self.poll = self._poll_fast
 
     # -- construction ------------------------------------------------------------
 
@@ -110,13 +114,44 @@ class Switch(Device):
     def queue_for(self, port_no: int, tclass: int = 0) -> EgressQueue:
         return self._port_queues[port_no][tclass]
 
-    # -- data path ---------------------------------------------------------------
+    def set_auditor(self, auditor) -> None:
+        """Attach (or detach, with ``None``) the runtime auditor.
 
-    def receive(self, packet: Packet, in_port: Port) -> None:
-        egress_no = self.fib.lookup(packet.dst, packet.flow_id)
+        Binds the audited or the hook-free data-path variant to
+        ``self.receive``/``self.poll``. Wrappers that intercept the
+        receive path (``FaultInjector``, ``PacketTracer``) must be
+        installed *after* the auditor: rebinding replaces the instance
+        attribute they wrapped.
+        """
+        self.audit = auditor
+        if auditor is None:
+            self.receive = self._receive_fast
+            self.poll = self._poll_fast
+        else:
+            self.receive = self._receive_audited
+            self.poll = self._poll_audited
+
+    # -- data path ---------------------------------------------------------------
+    #
+    # _receive_fast/_receive_audited (and _poll_fast/_poll_audited) are
+    # the same pipeline; the audited variants add the auditor hook
+    # calls. Keep the pairs in sync when changing admission logic.
+
+    def _receive_fast(self, packet: Packet, in_port: Port) -> None:
+        # Fib.lookup, open-coded for the single-path common case.
+        fib = self.fib
+        routes = fib._routes[packet.dst]
+        egress_no = (
+            routes[0] if len(routes) == 1 else fib.lookup(packet.dst, packet.flow_id)
+        )
         port_queues = self._port_queues[egress_no]
-        tclass = packet.tclass if 0 <= packet.tclass < len(port_queues) else 0
-        queue = port_queues[tclass]
+        nclasses = len(port_queues)
+        if nclasses == 1:
+            tclass = 0
+            queue = port_queues[0]
+        else:
+            tclass = packet.tclass if 0 <= packet.tclass < nclasses else 0
+            queue = port_queues[tclass]
         size = packet.size
 
         # 1. Color-aware dropping of unimportant packets.
@@ -131,27 +166,51 @@ class Switch(Device):
             return
 
         # 2. Dynamic-threshold admission (per-port occupancy across classes).
-        port_occupancy = sum(q.occupancy for q in port_queues)
+        port_occupancy = (
+            queue.occupancy if nclasses == 1 else sum(q.occupancy for q in port_queues)
+        )
+        buf = self.buffer
+        used = buf.used
         if self.pfc is None:
-            if not self.buffer.admits(port_occupancy, size):
-                reason = "pool" if self.buffer.used + size > self.buffer.capacity else "dynamic"
-                self._drop(packet, reason, queue, port_occupancy)
+            # SharedBuffer.admits, open-coded.
+            if used + size > buf.capacity:
+                self._drop(packet, "pool", queue, port_occupancy)
+                return
+            if port_occupancy >= buf.alpha * (buf.capacity - used):
+                self._drop(packet, "dynamic", queue, port_occupancy)
                 return
         else:
             # Lossless class: only true pool exhaustion drops.
-            if self.buffer.used + size > self.buffer.capacity:
+            if used + size > buf.capacity:
                 self._drop(packet, "pool", queue, port_occupancy)
                 return
 
-        self.buffer.reserve(size)
-        queue.push(packet, in_port.port_no)
-        if self.audit is not None:
-            self.audit.on_enqueue(self, packet, egress_no)
+        # SharedBuffer.reserve + EgressQueue.push, open-coded (the
+        # capacity check above makes overcommit impossible here).
+        used += size
+        buf.used = used
+        if used > buf.peak_used:
+            buf.peak_used = used
+        queue.items.append((packet, in_port.port_no))
+        occupancy = queue.occupancy + size
+        queue.occupancy = occupancy
+        if packet.color == Color.RED:
+            red = queue.red_bytes + size
+            queue.red_bytes = red
+            if red > queue.max_red_bytes:
+                queue.max_red_bytes = red
+        if occupancy > queue.max_occupancy:
+            queue.max_occupancy = occupancy
 
         # 3. ECN marking on the instantaneous queue length.
         ecn = self.config.ecn
         if ecn is not None and packet.ecn_capable and not packet.ce:
-            if ecn.should_mark(queue.occupancy):
+            # StepEcn.should_mark, open-coded for the common scheme.
+            if (
+                occupancy > ecn.k_bytes
+                if type(ecn) is StepEcn
+                else ecn.should_mark(occupancy)
+            ):
                 packet.ce = True
                 self.stats.ecn_marks += 1
 
@@ -159,26 +218,174 @@ class Switch(Device):
         if self.pfc is not None:
             self.pfc.on_admit(in_port.port_no, size)
 
-        self.ports[egress_no].kick()
+        port = self.ports[egress_no]
+        if not port.busy and not port.paused:
+            port.kick()
 
-    def poll(self, port: Port) -> Optional[Packet]:
+    def _receive_audited(self, packet: Packet, in_port: Port) -> None:
+        # Fib.lookup, open-coded for the single-path common case.
+        fib = self.fib
+        routes = fib._routes[packet.dst]
+        egress_no = (
+            routes[0] if len(routes) == 1 else fib.lookup(packet.dst, packet.flow_id)
+        )
+        port_queues = self._port_queues[egress_no]
+        nclasses = len(port_queues)
+        if nclasses == 1:
+            tclass = 0
+            queue = port_queues[0]
+        else:
+            tclass = packet.tclass if 0 <= packet.tclass < nclasses else 0
+            queue = port_queues[tclass]
+        size = packet.size
+
+        # 1. Color-aware dropping of unimportant packets.
+        k = self.config.color_threshold_bytes
+        if (
+            k is not None
+            and packet.color == Color.RED
+            and queue.red_bytes + size > k
+            and (self.config.color_classes is None or tclass in self.config.color_classes)
+        ):
+            self._drop(packet, "color", queue)
+            return
+
+        # 2. Dynamic-threshold admission (per-port occupancy across classes).
+        port_occupancy = (
+            queue.occupancy if nclasses == 1 else sum(q.occupancy for q in port_queues)
+        )
+        buf = self.buffer
+        used = buf.used
+        if self.pfc is None:
+            # SharedBuffer.admits, open-coded.
+            if used + size > buf.capacity:
+                self._drop(packet, "pool", queue, port_occupancy)
+                return
+            if port_occupancy >= buf.alpha * (buf.capacity - used):
+                self._drop(packet, "dynamic", queue, port_occupancy)
+                return
+        else:
+            # Lossless class: only true pool exhaustion drops.
+            if used + size > buf.capacity:
+                self._drop(packet, "pool", queue, port_occupancy)
+                return
+
+        # SharedBuffer.reserve + EgressQueue.push, open-coded (the
+        # capacity check above makes overcommit impossible here).
+        used += size
+        buf.used = used
+        if used > buf.peak_used:
+            buf.peak_used = used
+        queue.items.append((packet, in_port.port_no))
+        occupancy = queue.occupancy + size
+        queue.occupancy = occupancy
+        if packet.color == Color.RED:
+            red = queue.red_bytes + size
+            queue.red_bytes = red
+            if red > queue.max_red_bytes:
+                queue.max_red_bytes = red
+        if occupancy > queue.max_occupancy:
+            queue.max_occupancy = occupancy
+        self.audit.on_enqueue(self, packet, egress_no)
+
+        # 3. ECN marking on the instantaneous queue length.
+        ecn = self.config.ecn
+        if ecn is not None and packet.ecn_capable and not packet.ce:
+            # StepEcn.should_mark, open-coded for the common scheme.
+            if (
+                occupancy > ecn.k_bytes
+                if type(ecn) is StepEcn
+                else ecn.should_mark(occupancy)
+            ):
+                packet.ce = True
+                self.stats.ecn_marks += 1
+
+        # 4. PFC ingress accounting.
+        if self.pfc is not None:
+            self.pfc.on_admit(in_port.port_no, size)
+
+        port = self.ports[egress_no]
+        if not port.busy and not port.paused:
+            port.kick()
+
+    def _poll_fast(self, port: Port) -> Optional[Packet]:
         port_queues = self._port_queues[port.port_no]
         nclasses = len(port_queues)
-        start = self._rr[port.port_no]
-        entry = None
-        for offset in range(nclasses):
-            idx = (start + offset) % nclasses
-            queue = port_queues[idx]
-            entry = queue.pop()
-            if entry is not None:
-                self._rr[port.port_no] = (idx + 1) % nclasses
-                break
+        if nclasses == 1:
+            # EgressQueue.pop, open-coded.
+            queue = port_queues[0]
+            if not queue.items:
+                return None
+            entry = queue.items.popleft()
+            psize = entry[0].size
+            queue.occupancy -= psize
+            queue.dequeued_bytes += psize
+            if entry[0].color == Color.RED:
+                queue.red_bytes -= psize
+        else:
+            start = self._rr[port.port_no]
+            entry = None
+            for offset in range(nclasses):
+                idx = (start + offset) % nclasses
+                queue = port_queues[idx]
+                entry = queue.pop()
+                if entry is not None:
+                    self._rr[port.port_no] = (idx + 1) % nclasses
+                    break
         if entry is None:
             return None
         packet, ingress_no = entry
-        self.buffer.release(packet.size)
-        if self.audit is not None:
-            self.audit.on_dequeue(self, packet, port.port_no)
+        # SharedBuffer.release, open-coded (keeps the under-run check).
+        buf = self.buffer
+        buf.used -= packet.size
+        if buf.used < 0:
+            raise AssertionError("shared buffer under-run")
+        if self.pfc is not None:
+            self.pfc.on_release(ingress_no, packet.size)
+        if (
+            self.config.int_enabled
+            and packet.kind == PacketKind.DATA
+            and packet.int_records is not None
+        ):
+            qlen = sum(q.occupancy for q in port_queues)
+            packet.add_int_record(
+                IntRecord(qlen, port.tx_bytes, self.engine.now, port.rate_bps)
+            )
+        return packet
+
+    def _poll_audited(self, port: Port) -> Optional[Packet]:
+        port_queues = self._port_queues[port.port_no]
+        nclasses = len(port_queues)
+        if nclasses == 1:
+            # EgressQueue.pop, open-coded.
+            queue = port_queues[0]
+            if not queue.items:
+                return None
+            entry = queue.items.popleft()
+            psize = entry[0].size
+            queue.occupancy -= psize
+            queue.dequeued_bytes += psize
+            if entry[0].color == Color.RED:
+                queue.red_bytes -= psize
+        else:
+            start = self._rr[port.port_no]
+            entry = None
+            for offset in range(nclasses):
+                idx = (start + offset) % nclasses
+                queue = port_queues[idx]
+                entry = queue.pop()
+                if entry is not None:
+                    self._rr[port.port_no] = (idx + 1) % nclasses
+                    break
+        if entry is None:
+            return None
+        packet, ingress_no = entry
+        # SharedBuffer.release, open-coded (keeps the under-run check).
+        buf = self.buffer
+        buf.used -= packet.size
+        if buf.used < 0:
+            raise AssertionError("shared buffer under-run")
+        self.audit.on_dequeue(self, packet, port.port_no)
         if self.pfc is not None:
             self.pfc.on_release(ingress_no, packet.size)
         if (
@@ -204,8 +411,11 @@ class Switch(Device):
             self.drops_red += 1
         else:
             self.drops_green += 1
+        # Drops are off the fast path; a plain None-check suffices here.
         if self.audit is not None:
             self.audit.on_drop(self, packet, queue, reason, port_occupancy)
+        # The switch is the packet's terminal point: recycle it.
+        recycle(packet)
 
     def total_queued_bytes(self) -> int:
         return self.buffer.used

@@ -19,7 +19,7 @@ from typing import Callable, Deque, List, Optional
 from collections import deque
 
 from repro.net.node import Host
-from repro.net.packet import Color, Packet, PacketKind, TltMark
+from repro.net.packet import Color, Packet, PacketKind, TltMark, alloc_packet
 from repro.sim.units import MICROS, MILLIS
 from repro.stats.collector import FlowRecord, NetStats
 from repro.transport.rto import FixedRto, RtoEstimator
@@ -111,6 +111,7 @@ class Segment:
     __slots__ = (
         "start",
         "end",
+        "size",
         "acked",
         "sacked",
         "lost",
@@ -124,6 +125,7 @@ class Segment:
     def __init__(self, start: int, end: int):
         self.start = start
         self.end = end
+        self.size = end - start  # bounds are fixed for the segment's life
         self.acked = False
         self.sacked = False
         self.lost = False
@@ -132,10 +134,6 @@ class Segment:
         self.first_tx_ns = -1
         self.last_tx_ns = -1
         self.delivered = False  # delivery-time sample recorded
-
-    @property
-    def size(self) -> int:
-        return self.end - self.start
 
     def __repr__(self) -> str:  # pragma: no cover
         flags = "".join(
@@ -171,12 +169,12 @@ class ByteStreamReceiver:
         return self.stats.flows.get(self.spec.flow_id)
 
     def on_packet(self, packet: Packet) -> None:
-        if packet.kind == PacketKind.SYN:
-            self._send_syn_ack(packet)
-            return
-        if packet.kind == PacketKind.FIN:
-            return  # teardown is fire-and-forget; bookkeeping done at rx
-        if packet.kind != PacketKind.DATA:
+        kind = packet.kind
+        if kind != PacketKind.DATA:  # DATA first: it is the common case
+            if kind == PacketKind.SYN:
+                self._send_syn_ack(packet)
+            # FIN and anything else: teardown is fire-and-forget;
+            # bookkeeping is done at rx.
             return
         if self.tlt_rx is not None:
             self.tlt_rx.on_data(packet)
@@ -191,7 +189,7 @@ class ByteStreamReceiver:
 
     def _send_syn_ack(self, syn: Packet) -> None:
         """Reply to a SYN; idempotent for retransmitted SYNs."""
-        syn_ack = Packet(self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.SYN_ACK)
+        syn_ack = alloc_packet(self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.SYN_ACK)
         syn_ack.ts_echo = syn.ts_sent
         syn_ack.tclass = self.config.traffic_class
         syn_ack.color = Color.GREEN
@@ -199,14 +197,12 @@ class ByteStreamReceiver:
         self.host.send(syn_ack)
 
     def _send_ack(self, data_packet: Packet) -> None:
-        ack = Packet(
-            self.spec.flow_id,
-            self.spec.dst,
-            self.spec.src,
-            PacketKind.ACK,
-            ack=self.buffer.rcv_nxt,
+        spec = self.spec
+        buffer = self.buffer
+        ack = alloc_packet(
+            spec.flow_id, spec.dst, spec.src, PacketKind.ACK, 0, 0, buffer.rcv_nxt
         )
-        ack.sack = self.buffer.sack_blocks()
+        ack.sack = buffer.sack_blocks() if buffer.intervals else ()
         ack.ecn_echo = data_packet.ce
         ack.ts_echo = data_packet.ts_sent
         ack.tclass = self.config.traffic_class
@@ -295,7 +291,7 @@ class ByteStreamSender:
     # ------------------------------------------------------------ handshake
 
     def _send_syn(self) -> None:
-        syn = Packet(self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.SYN)
+        syn = alloc_packet(self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.SYN)
         syn.ts_sent = self.engine.now
         syn.tclass = self.config.traffic_class
         syn.color = Color.GREEN
@@ -314,7 +310,7 @@ class ByteStreamSender:
         self.try_send()
 
     def _send_fin(self) -> None:
-        fin = Packet(self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.FIN)
+        fin = alloc_packet(self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.FIN)
         fin.ts_sent = self.engine.now
         fin.tclass = self.config.traffic_class
         fin.color = Color.GREEN
@@ -339,21 +335,36 @@ class ByteStreamSender:
         return None
 
     def try_send(self) -> int:
-        """Send as much as the window allows; returns packets sent."""
+        """Send as much as the window allows; returns packets sent.
+
+        Open-coded version of the :meth:`_next_candidate` walk — this
+        runs once per ACK, and the tuple returns showed up in profiles.
+        """
         if not self.started or not self.established or self.completed:
             return 0
         sent = 0
+        lost_queue = self.lost_queue
         while True:
-            cand = self._next_candidate()
-            if cand is None:
+            # Retransmissions first (same policy as _next_candidate).
+            seg = None
+            while lost_queue:
+                head = lost_queue[0]
+                if head.acked or head.sacked or not head.lost:
+                    lost_queue.popleft()
+                    continue
+                seg = head
                 break
-            size = cand[1].size if cand[0] == "retx" else cand[1]
-            if self.pipe + size > self.cwnd:
-                break
-            if cand[0] == "retx":
-                seg = cand[1]
-                self.lost_queue.popleft()
+            if seg is not None:
+                if self.pipe + seg.size > self.cwnd:
+                    break
+                lost_queue.popleft()
             else:
+                remaining = self.spec.size - self.snd_nxt
+                if remaining <= 0:
+                    break
+                size = self.mss if self.mss < remaining else remaining
+                if self.pipe + size > self.cwnd:
+                    break
                 seg = Segment(self.snd_nxt, self.snd_nxt + size)
                 self.segments.append(seg)
                 self.snd_nxt = seg.end
@@ -363,50 +374,63 @@ class ByteStreamSender:
 
     def _transmit(self, seg: Segment, clock_mark: bool = False) -> None:
         now = self.engine.now
+        size = seg.size
         is_retx = seg.first_tx_ns >= 0
         if is_retx:
             seg.retx_count += 1
             seg.lost = False
-            self.record.retx_bytes += seg.size
+            self.record.retx_bytes += size
             self._retx_inflight.add(seg)
         else:
             seg.first_tx_ns = now
         seg.last_tx_ns = now
         if not seg.in_pipe:
             seg.in_pipe = True
-            self.pipe += seg.size
+            self.pipe += size
 
-        packet = Packet(
-            self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.DATA,
-            seq=seg.start, payload=seg.size,
+        spec = self.spec
+        config = self.config
+        packet = alloc_packet(
+            spec.flow_id, spec.src, spec.dst, PacketKind.DATA, seg.start, size
         )
-        packet.ecn_capable = self.config.ecn
+        packet.ecn_capable = config.ecn
         packet.ts_sent = now
-        packet.tclass = self.config.traffic_class
+        packet.tclass = config.traffic_class
         packet.is_retx = is_retx
-        self.record.tx_bytes += seg.size
+        self.record.tx_bytes += size
 
-        if self.tlt is not None:
+        tlt = self.tlt
+        if tlt is not None:
             if clock_mark:
-                self.tlt.mark_clock_data(packet)
+                tlt.mark_clock_data(packet)
             else:
-                last_allowed = self._is_last_allowed(seg)
-                self.tlt.mark_data(packet, last_allowed)
-        elif self.config.plain_color is not None:
-            packet.color = self.config.plain_color
+                tlt.mark_data(packet, self._is_last_allowed(seg))
+        elif config.plain_color is not None:
+            packet.color = config.plain_color
         self.host.send(packet)
         self._arm_rto()
         self._arm_pto()
 
     def _is_last_allowed(self, just_sent: Segment) -> bool:
         """True when no further send can follow right now (window edge
-        or end of data) — the packet at the tail of the current burst."""
-        if just_sent.end >= self.spec.size and not self.lost_queue:
+        or end of data) — the packet at the tail of the current burst.
+
+        Open-coded :meth:`_next_candidate` walk (including its stale-
+        entry cleanup); this runs once per TLT-marked transmission.
+        """
+        lost_queue = self.lost_queue
+        if just_sent.end >= self.spec.size and not lost_queue:
             return True
-        cand = self._next_candidate()
-        if cand is None:
+        while lost_queue:
+            head = lost_queue[0]
+            if head.acked or head.sacked or not head.lost:
+                lost_queue.popleft()
+                continue
+            return self.pipe + head.size > self.cwnd
+        remaining = self.spec.size - self.snd_nxt
+        if remaining <= 0:
             return True
-        size = cand[1].size if cand[0] == "retx" else cand[1]
+        size = self.mss if self.mss < remaining else remaining
         return self.pipe + size > self.cwnd
 
     # ------------------------------------------------------------ receive path
@@ -414,10 +438,10 @@ class ByteStreamSender:
     def on_packet(self, packet: Packet) -> None:
         if self.completed:
             return
-        if packet.kind == PacketKind.SYN_ACK:
-            self._on_syn_ack(packet)
-            return
-        if packet.kind != PacketKind.ACK:
+        kind = packet.kind
+        if kind != PacketKind.ACK:  # ACK first: it is the common case
+            if kind == PacketKind.SYN_ACK:
+                self._on_syn_ack(packet)
             return
         if self.tlt is not None and not self.tlt.on_ack(packet):
             return  # Important Clock Echo suppressed below snd_una
@@ -621,7 +645,7 @@ class ByteStreamSender:
     def _restart_rto(self) -> None:
         self._rto_deadline = self.engine.now + self.rto.current
         if self._rto_event is None:
-            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+            self._rto_event = self.engine.schedule_timer_at(self._rto_deadline, self._rto_fire)
 
     def _cancel_rto(self) -> None:
         self._rto_deadline = None
@@ -635,7 +659,7 @@ class ByteStreamSender:
             return
         now = self.engine.now
         if now < self._rto_deadline:
-            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+            self._rto_event = self.engine.schedule_timer_at(self._rto_deadline, self._rto_fire)
             return
         if self.snd_una >= self.spec.size:
             return
@@ -653,7 +677,7 @@ class ByteStreamSender:
         if not self.established:
             # SYN (or SYN-ACK) lost: retransmit the SYN.
             self._rto_deadline = self.engine.now + self.rto.current
-            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+            self._rto_event = self.engine.schedule_timer_at(self._rto_deadline, self._rto_fire)
             self._send_syn()
             return
         self.dupacks = 0
@@ -667,7 +691,7 @@ class ByteStreamSender:
             if not (seg.acked or seg.sacked):
                 self._mark_lost(seg)
         self._rto_deadline = self.engine.now + self.rto.current
-        self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+        self._rto_event = self.engine.schedule_timer_at(self._rto_deadline, self._rto_fire)
         self.try_send()
 
     # -------------------------------------------------------------- TLP
@@ -680,7 +704,7 @@ class ByteStreamSender:
         pto = min(pto, self.rto.current)
         if self._pto_event is not None:
             self._pto_event.cancel()
-        self._pto_event = self.engine.schedule(pto, self._pto_fire)
+        self._pto_event = self.engine.schedule_timer(pto, self._pto_fire)
 
     def _pto_fire(self) -> None:
         self._pto_event = None
@@ -749,7 +773,7 @@ class ByteStreamSender:
     def clock_one_byte(self) -> None:
         """Important ACK-clocking, 1-byte flavor: resend the first
         unacked byte (minimal footprint, §5.1)."""
-        packet = Packet(
+        packet = alloc_packet(
             self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.DATA,
             seq=self.snd_una, payload=1,
         )

@@ -88,7 +88,7 @@ class DcqcnRateControl:
             if not restart:
                 return
             self._alpha_event.cancel()
-        self._alpha_event = self.engine.schedule(
+        self._alpha_event = self.engine.schedule_timer(
             self.config.dcqcn_alpha_timer_ns, self._alpha_fire
         )
 
@@ -104,7 +104,7 @@ class DcqcnRateControl:
             if not restart:
                 return
             self._rate_event.cancel()
-        self._rate_event = self.engine.schedule(
+        self._rate_event = self.engine.schedule_timer(
             self.config.dcqcn_rate_timer_ns, self._rate_fire
         )
 

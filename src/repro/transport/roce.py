@@ -28,7 +28,7 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from repro.net.node import Host
-from repro.net.packet import Color, HEADER_BYTES, Packet, PacketKind, TltMark
+from repro.net.packet import Color, HEADER_BYTES, Packet, PacketKind, TltMark, alloc_packet
 from repro.net.topology import Network
 from repro.sim.units import MILLIS, tx_time_ns
 from repro.stats.collector import FlowRecord, NetStats
@@ -213,7 +213,7 @@ class RoceSender:
         if psn + 1 > self.snd_max:
             self.snd_max = psn + 1
 
-        packet = Packet(
+        packet = alloc_packet(
             self.spec.flow_id, self.spec.src, self.spec.dst, PacketKind.DATA,
             seq=psn, payload=payload,
         )
@@ -418,7 +418,7 @@ class RoceSender:
         if self._rack_event is not None:
             return
         srtt = self.rto.srtt or self.config.base_rtt_ns
-        self._rack_event = self.engine.schedule(srtt + 1, self._rack_fire)
+        self._rack_event = self.engine.schedule_timer(srtt + 1, self._rack_fire)
 
     def _rack_fire(self) -> None:
         self._rack_event = None
@@ -448,14 +448,14 @@ class RoceSender:
     def _restart_rto(self) -> None:
         self._rto_deadline = self.engine.now + self.rto.current
         if self._rto_event is None:
-            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+            self._rto_event = self.engine.schedule_timer_at(self._rto_deadline, self._rto_fire)
 
     def _rto_fire(self) -> None:
         self._rto_event = None
         if self.completed or self._rto_deadline is None:
             return
         if self.engine.now < self._rto_deadline:
-            self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+            self._rto_event = self.engine.schedule_timer_at(self._rto_deadline, self._rto_fire)
             return
         if self.is_all_acked():
             return
@@ -488,7 +488,7 @@ class RoceSender:
         if first is not None and self.tlt_rate is not None:
             self.tlt_rate.on_retx_round(first, last)
         self._rto_deadline = self.engine.now + self.rto.current
-        self._rto_event = self.engine.schedule_at(self._rto_deadline, self._rto_fire)
+        self._rto_event = self.engine.schedule_timer_at(self._rto_deadline, self._rto_fire)
         self._schedule_send()
 
     # ------------------------------------------------------- TLT interface
@@ -661,7 +661,7 @@ class RoceReceiver:
                 self.spec.on_complete_rx(record)
 
     def _make_ack(self, data_packet: Packet, ack_psn: int) -> Packet:
-        ack = Packet(
+        ack = alloc_packet(
             self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.ACK, ack=ack_psn
         )
         ack.ts_echo = data_packet.ts_sent
@@ -681,7 +681,7 @@ class RoceReceiver:
         self.host.send(ack)
 
     def _send_nack(self, expected: int) -> None:
-        nack = Packet(
+        nack = alloc_packet(
             self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.NACK, ack=expected
         )
         nack.color = Color.GREEN
@@ -695,7 +695,7 @@ class RoceReceiver:
         if now - self._last_cnp_ns < self.config.cnp_interval_ns:
             return
         self._last_cnp_ns = now
-        cnp = Packet(self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.CNP)
+        cnp = alloc_packet(self.spec.flow_id, self.spec.dst, self.spec.src, PacketKind.CNP)
         cnp.color = Color.GREEN
         cnp.mark = TltMark.CONTROL
         self.host.send(cnp)

@@ -32,6 +32,11 @@ class ReceiverBuffer:
             return 0  # stale duplicate
         start = max(start, self.rcv_nxt)
 
+        # In-order fast path: no islands and nothing to merge.
+        if start <= self.rcv_nxt and not self.intervals:
+            self.rcv_nxt = end
+            return end - before
+
         # Merge into the island list.
         merged: List[Tuple[int, int]] = []
         placed = False
@@ -56,9 +61,13 @@ class ReceiverBuffer:
     def sack_blocks(self, max_blocks: int = 3) -> Tuple[Tuple[int, int], ...]:
         """Up to ``max_blocks`` SACK blocks; the island holding the most
         recently received sequence is reported first (RFC 2018)."""
-        if not self.intervals:
+        intervals = self.intervals
+        if not intervals:
             return ()
-        blocks = list(self.intervals)
+        if len(intervals) == 1:
+            # One island: recency reordering and truncation are no-ops.
+            return (intervals[0],)
+        blocks = list(intervals)
         recent = None
         for block in blocks:
             if block[0] <= self.last_seq < block[1]:

@@ -15,6 +15,7 @@ that needs an un-audited run sets ``ScenarioConfig(audit=False)``.
 import pytest
 
 from repro.experiments import parallel
+from repro.net import packet as packet_mod
 
 
 @pytest.fixture(autouse=True)
@@ -23,3 +24,14 @@ def _hermetic_execution(tmp_path, monkeypatch):
     with parallel.execution(jobs=1, use_cache=False,
                             cache_dir=str(tmp_path / "tlt-cache")):
         yield
+
+
+@pytest.fixture
+def no_packet_pool():
+    """Disable packet recycling for tests whose taps retain Packet
+    objects past the run (a recycled packet is reinitialised when the
+    pool reuses it, mutating the retained reference)."""
+    prev = packet_mod._pool_enabled
+    packet_mod.set_pooling(False)
+    yield
+    packet_mod.set_pooling(prev)

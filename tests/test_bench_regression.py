@@ -20,9 +20,12 @@ def write(path, payload):
 
 
 def pytest_benchmark_doc(rates):
+    # The fastest round (min) defines the rate; the mean is slower, as
+    # on a real noisy runner.
     return {
         "benchmarks": [
-            {"name": name, "stats": {"mean": events / rate},
+            {"name": name,
+             "stats": {"min": events / rate, "mean": 1.2 * events / rate},
              "extra_info": {"events": events}}
             for name, (events, rate) in rates.items()
         ]
@@ -33,6 +36,16 @@ def test_load_rates_pytest_benchmark_format(tmp_path):
     path = write(tmp_path / "run.json",
                  pytest_benchmark_doc({"bench_a": (100_000, 50_000.0)}))
     assert tool.load_rates(path) == {"bench_a": pytest.approx(50_000.0)}
+
+
+def test_load_rates_prefers_fastest_round_over_mean(tmp_path):
+    # Scheduling noise only adds time: the gate must rate benchmarks by
+    # their fastest round, not a mean dragged down by slow outliers.
+    path = write(tmp_path / "run.json", {
+        "benchmarks": [{"name": "a", "stats": {"min": 0.5, "mean": 2.0},
+                        "extra_info": {"events": 1000}}]
+    })
+    assert tool.load_rates(path) == {"a": pytest.approx(2000.0)}
 
 
 def test_load_rates_without_events_uses_runs_per_sec(tmp_path):
@@ -84,6 +97,21 @@ def test_gate_fails_when_benchmark_disappears(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "disappeared" in out
     assert "new" in out  # the unexpected benchmark is reported, not gated
+
+
+def test_new_benchmark_is_reported_but_not_gated(tmp_path, capsys):
+    # A benchmark present in the run but absent from the baseline (a
+    # freshly added microbenchmark) must not fail the gate: it is
+    # listed as "new" and starts being gated once --update records it.
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"a": (1000, 100_000.0),
+                                          "brand_new": (1000, 5.0)}))
+    baseline = write(tmp_path / "base.json",
+                     {"benchmarks": {"a": {"events_per_sec": 100_000.0}}})
+    assert tool.main([current, baseline, "--threshold", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "new" in out
+    assert "brand_new" in out
 
 
 def test_update_writes_normalized_baseline(tmp_path):

@@ -1,0 +1,148 @@
+"""Cross-optimization determinism proof.
+
+The simulator's contract is that a run is a pure function of its
+configuration and seeds. The fingerprints below were captured on the
+pre-optimization engine (plain object heap, no timer wheel, no packet
+pool, no GC tuning); the optimized engine must reproduce every one of
+them bit-for-bit. If an optimization legitimately changes the event
+sequence (it should not), these values must NOT simply be refreshed —
+that would defeat the proof. Find out why the sequence moved.
+"""
+
+import pytest
+
+from repro.experiments.scale import TINY
+from repro.experiments.scenarios import ScenarioConfig, run_scenario
+
+
+def fingerprint(config: ScenarioConfig) -> dict:
+    """A deep metrics digest of one scenario run: event counts, every
+    loss/mark/pause counter, and order-sensitive sums of the timing
+    samples (FCT, RTT, delivery, queue depth)."""
+    result = run_scenario(config)
+    stats = result.stats
+    return {
+        "duration_ns": result.duration_ns,
+        "events": result.net.engine.events_processed,
+        "timeouts": stats.timeouts,
+        "fast_retransmits": stats.fast_retransmits,
+        "ecn_marks": stats.ecn_marks,
+        "pause_frames": stats.pause_frames,
+        "resume_frames": stats.resume_frames,
+        "drops_green": stats.drops_green,
+        "drops_red": stats.drops_red,
+        "drop_bytes": stats.drop_bytes,
+        "green_data_packets": stats.green_data_packets,
+        "red_data_packets": stats.red_data_packets,
+        "clocking_packets": stats.clocking_packets,
+        "flow_count": stats.flow_count(),
+        "incomplete": stats.incomplete_flows(),
+        "fct_fg_sum": sum(stats.fct_list("fg")),
+        "fct_bg_sum": sum(stats.fct_list("bg")),
+        "rtt_fg_sum": sum(stats.rtt_samples_fg),
+        "rtt_bg_sum": sum(stats.rtt_samples_bg),
+        "delivery_sum": sum(stats.delivery_samples),
+        "queue_samples": len(result.queue_samples),
+        "queue_sample_sum": sum(result.queue_samples),
+    }
+
+
+# Captured at commit 136bb3f (pre tuple-heap/timer-wheel/packet-pool).
+EXPECTED = {
+    "dctcp_tlt": {
+        "duration_ns": 102854021,
+        "events": 123079,
+        "timeouts": 0,
+        "fast_retransmits": 0,
+        "ecn_marks": 726,
+        "pause_frames": 0,
+        "resume_frames": 0,
+        "drops_green": 0,
+        "drops_red": 0,
+        "drop_bytes": 0,
+        "green_data_packets": 104,
+        "red_data_packets": 8233,
+        "clocking_packets": 18,
+        "flow_count": 40,
+        "incomplete": 0,
+        "fct_fg_sum": 780368,
+        "fct_bg_sum": 7186415,
+        "rtt_fg_sum": 8319342,
+        "rtt_bg_sum": 988180593,
+        "delivery_sum": 996499935,
+        "queue_samples": 91,
+        "queue_sample_sum": 5513871,
+    },
+    "dcqcn_pfc": {
+        "duration_ns": 101937158,
+        "events": 726049,
+        "timeouts": 0,
+        "fast_retransmits": 0,
+        "ecn_marks": 800,
+        "pause_frames": 2,
+        "resume_frames": 2,
+        "drops_green": 0,
+        "drops_red": 0,
+        "drop_bytes": 0,
+        "green_data_packets": 0,
+        "red_data_packets": 0,
+        "clocking_packets": 0,
+        "flow_count": 40,
+        "incomplete": 0,
+        "fct_fg_sum": 343416,
+        "fct_bg_sum": 30275187,
+        "rtt_fg_sum": 2491574,
+        "rtt_bg_sum": 1151376233,
+        "delivery_sum": 1153867807,
+        "queue_samples": 123,
+        "queue_sample_sum": 7340692,
+    },
+    "hpcc_tlt": {
+        "duration_ns": 102101540,
+        "events": 1117350,
+        "timeouts": 0,
+        "fast_retransmits": 8,
+        "ecn_marks": 0,
+        "pause_frames": 0,
+        "resume_frames": 0,
+        "drops_green": 0,
+        "drops_red": 0,
+        "drop_bytes": 0,
+        "green_data_packets": 2060,
+        "red_data_packets": 70894,
+        "clocking_packets": 2020,
+        "flow_count": 40,
+        "incomplete": 0,
+        "fct_fg_sum": 304594,
+        "fct_bg_sum": 27068977,
+        "rtt_fg_sum": 2892368,
+        "rtt_bg_sum": 944203529,
+        "delivery_sum": 947095897,
+        "queue_samples": 852,
+        "queue_sample_sum": 770288,
+    },
+}
+
+CONFIGS = {
+    "dctcp_tlt": lambda: ScenarioConfig(
+        transport="dctcp", tlt=True, scale=TINY, seed=3, audit=False
+    ),
+    "dcqcn_pfc": lambda: ScenarioConfig(
+        transport="dcqcn", pfc=True, scale=TINY, seed=5, audit=False
+    ),
+    "hpcc_tlt": lambda: ScenarioConfig(
+        transport="hpcc", tlt=True, scale=TINY, seed=7, audit=False
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_fingerprint_matches_pre_optimization_engine(name):
+    assert fingerprint(CONFIGS[name]()) == EXPECTED[name]
+
+
+def test_repeat_run_is_bit_identical():
+    """Same config, same process, back-to-back: identical fingerprints
+    (catches state leaking across runs, e.g. through the packet pool)."""
+    config = CONFIGS["dctcp_tlt"]
+    assert fingerprint(config()) == fingerprint(config())

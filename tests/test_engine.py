@@ -177,3 +177,72 @@ def test_engine_is_not_reentrant():
 
     engine.schedule(0, nested)
     engine.run()
+
+
+def test_pending_counts_live_events_only():
+    engine = Engine()
+    events = [engine.schedule(i + 1, lambda: None) for i in range(10)]
+    timer = engine.schedule_timer(1_000_000, lambda: None)
+    assert engine.pending == 11
+    for event in events[:4]:
+        event.cancel()
+    assert engine.pending == 7  # cancelled events no longer counted
+    timer.cancel()
+    assert engine.pending == 6
+    assert engine.pending_total >= 6  # dead entries may still be queued
+
+
+def test_pending_total_includes_dead_entries():
+    engine = Engine()
+    event = engine.schedule(10, lambda: None)
+    engine.schedule(20, lambda: None)
+    event.cancel()
+    assert engine.pending == 1
+    assert engine.pending_total == 2
+
+
+def test_heap_compaction_drops_dead_entries():
+    engine = Engine()
+    keeper = engine.schedule(1_000_000, lambda: None)
+    events = [engine.schedule(i + 1, lambda: None)
+              for i in range(Engine.COMPACT_MIN_DEAD * 2)]
+    for event in events:
+        event.cancel()
+    # More than half of the heap went dead => it was compacted in place
+    # (without compaction all 2*COMPACT_MIN_DEAD+1 entries would remain).
+    assert len(engine._queue) <= Engine.COMPACT_MIN_DEAD
+    assert engine.pending == 1
+    assert engine.pending_total == len(engine._queue)
+    engine.run()
+    assert engine.now == 1_000_000
+    assert not keeper.cancelled
+
+
+def test_schedule_anon_runs_in_order():
+    engine = Engine()
+    order = []
+    engine.schedule(5, order.append, "a")
+    engine.schedule_anon(5, order.append, "b")
+    engine.schedule(5, order.append, "c")
+    engine.schedule_anon(1, order.append, "first")
+    engine.run()
+    assert order == ["first", "a", "b", "c"]
+    assert engine.events_processed == 4
+
+
+def test_schedule_anon_rejects_past():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule_anon(-1, lambda: None)
+
+
+def test_gc_state_restored_after_run():
+    import gc
+
+    engine = Engine()
+    thresholds = gc.get_threshold()
+    enabled = gc.isenabled()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    assert gc.get_threshold() == thresholds
+    assert gc.isenabled() == enabled

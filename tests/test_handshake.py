@@ -7,6 +7,12 @@ from repro.transport.base import TransportConfig
 
 from tests.util import DropFilter, run_flow, small_star
 
+import pytest
+
+# Taps in this module retain Packet objects across the run.
+pytestmark = pytest.mark.usefixtures("no_packet_pool")
+
+
 
 class Tap:
     def __init__(self, switch):

@@ -1,0 +1,82 @@
+"""Tests for the profiling harness (repro.sim.profiler)."""
+
+import json
+import os
+import pstats
+
+from repro.sim import engine as engine_mod
+from repro.sim.engine import Engine
+from repro.sim.profiler import Profiler
+
+
+def tick(counter):
+    counter["n"] += 1
+
+
+def run_small_sim():
+    engine = Engine()
+    counter = {"n": 0}
+    for i in range(500):
+        engine.schedule(i, tick, counter)
+    engine.run()
+    assert counter["n"] == 500
+    return engine
+
+
+def test_profiler_writes_pstats_and_json(tmp_path):
+    with Profiler(tag="unit", out_dir=str(tmp_path)) as prof:
+        run_small_sim()
+
+    assert prof.pstats_path == str(tmp_path / "profile_unit.pstats")
+    assert prof.json_path == str(tmp_path / "profile_unit.json")
+    assert os.path.exists(prof.pstats_path)
+    assert os.path.exists(prof.json_path)
+
+    # The pstats dump loads and contains the engine's run loop.
+    stats = pstats.Stats(prof.pstats_path)
+    assert any(name == "run" for (_f, _l, name) in stats.stats)
+
+    with open(prof.json_path) as fh:
+        summary = json.load(fh)
+    assert summary["schema"] == 1
+    assert summary["tag"] == "unit"
+    assert summary["wall_s"] > 0
+    assert summary["events_attributed"] == 500
+    assert summary["hotspots"], "cProfile hotspots missing"
+    callbacks = {row["callback"]: row for row in summary["callbacks"]}
+    assert callbacks["tick"]["calls"] == 500
+    assert callbacks["tick"]["total_ms"] >= 0
+
+
+def test_attribution_cleared_after_exit(tmp_path):
+    with Profiler(tag="cleanup", out_dir=str(tmp_path)):
+        run_small_sim()
+    assert engine_mod._ATTRIBUTION is None
+    # Runs after the profiler exits are not attributed anywhere.
+    before = dict()
+    run_small_sim()
+    assert engine_mod._ATTRIBUTION is None
+    assert before == {}
+
+
+def test_attribution_cleared_on_exception(tmp_path):
+    class Boom(RuntimeError):
+        pass
+
+    try:
+        with Profiler(tag="boom", out_dir=str(tmp_path)):
+            raise Boom()
+    except Boom:
+        pass
+    assert engine_mod._ATTRIBUTION is None
+    # No files written for a failed block.
+    assert not os.path.exists(tmp_path / "profile_boom.json")
+
+
+def test_summary_available_without_write(tmp_path):
+    prof = Profiler(tag="mem", out_dir=str(tmp_path), top=5)
+    with prof:
+        run_small_sim()
+    summary = prof.summary()
+    assert len(summary["hotspots"]) <= 5
+    assert summary["events_attributed"] == 500

@@ -10,6 +10,12 @@ from repro.sim.engine import Engine
 
 from tests.util import DropFilter, run_flow, small_star
 
+import pytest
+
+# Taps in this module retain Packet objects across the run.
+pytestmark = pytest.mark.usefixtures("no_packet_pool")
+
+
 import random
 
 

@@ -1,0 +1,186 @@
+"""Tests for the hierarchical timer wheel (repro.sim.timerwheel).
+
+The wheel's contract: ``Engine.schedule_timer`` fires callbacks in
+exactly the same ``(time, seq)`` order as ``Engine.schedule`` would —
+the wheel is purely a cheaper parking lot for usually-cancelled timers,
+never a semantic change.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.timerwheel import NEVER, SHIFTS
+
+
+def test_timer_fires_at_its_time():
+    engine = Engine()
+    fired = []
+    engine.schedule_timer(1_000_000, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [1_000_000]
+    assert engine.now == 1_000_000
+
+
+def test_timer_and_heap_events_interleave_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule_timer(2_000_000, order.append, "timer")
+    engine.schedule(1_000_000, order.append, "before")
+    engine.schedule(3_000_000, order.append, "after")
+    engine.run()
+    assert order == ["before", "timer", "after"]
+
+
+def test_same_time_ties_broken_by_scheduling_order():
+    # A wheel timer and heap events at the same instant fire in
+    # scheduling (seq) order, exactly as if all were heap events.
+    engine = Engine()
+    order = []
+    engine.schedule(5_000_000, order.append, "heap-first")
+    engine.schedule_timer(5_000_000, order.append, "wheel")
+    engine.schedule(5_000_000, order.append, "heap-second")
+    engine.run()
+    assert order == ["heap-first", "wheel", "heap-second"]
+
+
+def test_cancelled_timer_never_fires():
+    engine = Engine()
+    fired = []
+    timer = engine.schedule_timer(1_000_000, fired.append, "x")
+    timer.cancel()
+    engine.run()
+    assert fired == []
+    assert engine.now == 0  # nothing left to run
+
+
+def test_rearm_pattern_only_last_fires():
+    # The RTO pattern: cancel + reschedule on every ACK.
+    engine = Engine()
+    fired = []
+    state = {"timer": None}
+
+    def rearm(n):
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        state["timer"] = engine.schedule_timer(10_000_000, fired.append, n)
+        if n < 100:
+            engine.schedule(1_000, rearm, n + 1)
+
+    engine.schedule(0, rearm, 1)
+    engine.run()
+    assert fired == [100]
+
+
+def test_long_delay_cascades_through_levels():
+    # A delay beyond the top level's span must cascade down as the
+    # clock approaches it and still fire exactly once, on time.
+    engine = Engine()
+    fired = []
+    delay = (1 << SHIFTS[2]) * 5  # far beyond the level-1 span
+    engine.schedule_timer(delay, lambda: fired.append(engine.now))
+    # Traffic to keep the clock stepping across slot boundaries.
+    for t in range(0, delay, delay // 7):
+        engine.schedule(t, lambda: None)
+    engine.run()
+    assert fired == [delay]
+
+
+def test_timer_in_past_slot_fires_via_heap():
+    # A timer whose slot has already started goes straight to the heap.
+    engine = Engine()
+    engine.schedule(1_000_000, lambda: None)
+    engine.run()
+    fired = []
+    engine.schedule_timer(1, fired.append, "t")
+    engine.run()
+    assert fired == ["t"]
+
+
+def test_timer_cannot_schedule_in_past():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_timer(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule_timer_at(5, lambda: None)
+
+
+def test_run_until_with_only_wheel_timers_advances():
+    engine = Engine()
+    fired = []
+    engine.schedule_timer(80_000_000, fired.append, 1)
+    engine.run(until=10_000_000)
+    assert fired == []
+    assert engine.now == 10_000_000
+    engine.run(until=100_000_000)
+    assert fired == [1]
+    assert engine.now == 100_000_000
+
+
+def test_peek_time_sees_wheel_timer():
+    engine = Engine()
+    engine.schedule_timer(70_000_000, lambda: None)
+    assert engine.peek_time() == 70_000_000
+
+
+def test_wheel_empties_after_run():
+    engine = Engine()
+    for i in range(50):
+        engine.schedule_timer(1_000_000 * (i + 1), lambda: None)
+    engine.run()
+    assert engine._wheel.total_entries() == 0
+    assert engine._wheel.live == 0
+    assert engine._wheel_min == NEVER
+
+
+def test_property_wheel_matches_heap_ordering():
+    """Property: an interleaving of schedule() and schedule_timer()
+    calls fires in exactly the order a pure-heap engine produces."""
+    rng = random.Random(42)
+    for trial in range(20):
+        delays = [rng.randrange(0, 1 << 28) for _ in range(200)]
+        use_timer = [rng.random() < 0.5 for _ in range(200)]
+        cancel_idx = set(rng.sample(range(200), 40))
+
+        def run_engine(timers_in_wheel):
+            engine = Engine()
+            order = []
+            events = []
+            for i, delay in enumerate(delays):
+                fn = engine.schedule_timer if (timers_in_wheel and use_timer[i]) else engine.schedule
+                events.append(fn(delay, order.append, i))
+            for i in cancel_idx:
+                events[i].cancel()
+            engine.run()
+            return order
+
+        assert run_engine(True) == run_engine(False), f"trial {trial}"
+
+
+def test_property_wheel_matches_heap_with_nested_scheduling():
+    """Property: callbacks that schedule further timers (the re-arm
+    pattern) keep wheel and heap engines in lockstep."""
+    rng = random.Random(7)
+    script = [(rng.randrange(0, 1 << 22), rng.random() < 0.5, rng.random() < 0.3)
+              for _ in range(150)]
+
+    def run_engine(timers_in_wheel):
+        engine = Engine()
+        order = []
+
+        def fire(i, extra_delay, as_timer, rearm):
+            order.append((i, engine.now))
+            if rearm:
+                fn = engine.schedule_timer if (timers_in_wheel and as_timer) else engine.schedule
+                fn(extra_delay, order.append, ("re", i))
+
+        for i, (delay, as_timer, rearm) in enumerate(script):
+            fn = engine.schedule_timer if (timers_in_wheel and as_timer) else engine.schedule
+            fn(delay, fire, i, delay // 2 + 1, as_timer, rearm)
+        engine.run()
+        return order
+
+    assert run_engine(True) == run_engine(False)

@@ -8,9 +8,12 @@ than ``--threshold`` (default 25%).
 Accepted input formats (auto-detected):
 
 - pytest-benchmark ``--benchmark-json`` output — throughput is
-  ``extra_info["events"] / stats.mean`` when the benchmark recorded an
+  ``extra_info["events"] / stats.min`` when the benchmark recorded an
   event count (see ``benchmarks/conftest.py:record_events``), else
-  ``1 / stats.mean`` (runs/sec);
+  ``1 / stats.min`` (runs/sec). The fastest round is used rather than
+  the mean: scheduling noise and CPU steal on shared runners only ever
+  add time, so the minimum is the stablest estimate of the code's true
+  cost (and what the stdlib ``timeit`` docs recommend comparing);
 - ``tlt-experiment bench-report`` output (``BENCH_*.json``);
 - the normalized baseline format this tool writes with ``--update``:
   ``{"benchmarks": {name: {"events_per_sec": float}}, ...}``.
@@ -47,11 +50,14 @@ def load_rates(path: str) -> Dict[str, float]:
     if isinstance(document.get("benchmarks"), list):
         # pytest-benchmark --benchmark-json format.
         for bench in document["benchmarks"]:
-            mean = bench["stats"]["mean"]
-            if mean <= 0:
+            stats = bench["stats"]
+            # Fastest round: noise on a shared runner is strictly
+            # additive, so min is the stablest estimate of true cost.
+            best = stats.get("min") or stats["mean"]
+            if best <= 0:
                 continue
             events = (bench.get("extra_info") or {}).get("events")
-            rates[bench["name"]] = (float(events) if events else 1.0) / mean
+            rates[bench["name"]] = (float(events) if events else 1.0) / best
     elif isinstance(document.get("benchmarks"), dict):
         # Normalized baseline format (written by --update).
         for name, entry in document["benchmarks"].items():
