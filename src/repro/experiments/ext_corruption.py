@@ -10,13 +10,12 @@ rises — demonstrating the fallback is graceful, not catastrophic.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Sequence
 
 from repro.core.config import TltConfig
 from repro.experiments.common import print_table, resolve_scale
 from repro.experiments.scenarios import ScenarioConfig, build_network, make_transport_config
-from repro.net.faults import FaultInjector
+from repro.faults import FaultInjector
 from repro.sim.units import KB, MILLIS
 from repro.transport.base import FlowSpec
 from repro.transport.registry import create_flow
@@ -31,9 +30,17 @@ COLUMNS = ["corruption_rate", "fg_p99_ms", "timeouts_per_1k", "corrupted_green",
 def _run(rate: float, scale, seed: int = 1) -> Dict:
     config = ScenarioConfig(transport="dctcp", tlt=True, scale=scale, seed=seed)
     net = build_network(config)
+    # Each injector draws from a stream derived from the scenario seed
+    # and the device name: different seeds corrupt different packet
+    # sets (so --seeds sweeps measure real variance), the same seed is
+    # bit-reproducible.
     injectors = [
-        FaultInjector(switch, rate, random.Random(seed * 1009 + i))
-        for i, switch in enumerate(net.switches)
+        FaultInjector(
+            switch, rate,
+            rng=net.rng.stream(f"fault.corruption.{switch.name}"),
+            stats=net.stats,
+        )
+        for switch in net.switches
     ]
     tconfig = make_transport_config(config)
 

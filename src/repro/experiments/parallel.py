@@ -109,7 +109,15 @@ class Job:
     metrics: Optional[str] = None  # "module:qualname" reducer reference
 
     def cache_key(self) -> str:
-        return fingerprint(replace(self.config, seed=self.seed), self.seed, self.metrics)
+        config = replace(self.config, seed=self.seed)
+        # Fold the *resolved* fault schedule into the key: a spec that
+        # arrives via the TLT_FAULTS env file is invisible to the config
+        # dataclass, and stale cache hits across different fault specs
+        # would silently mix chaos runs with clean ones.
+        faults = config.resolved_faults()
+        if faults != config.faults:
+            config = replace(config, faults=faults)
+        return fingerprint(config, self.seed, self.metrics)
 
 
 @dataclass

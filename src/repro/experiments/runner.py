@@ -56,6 +56,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext-incremental": "repro.experiments.ext_incremental",
     "ext-periodic-n": "repro.experiments.ext_periodic_n",
     "ext-corruption": "repro.experiments.ext_corruption",
+    "ext-faults": "repro.experiments.ext_faults",
 }
 
 
@@ -187,6 +188,10 @@ def main(argv=None) -> int:
                         help="run with the runtime invariant auditor attached "
                              "(raises AuditError with a trace dump on any "
                              "violated simulation invariant)")
+    parser.add_argument("--faults", default=None, metavar="SPEC.JSON",
+                        help="inject a fault schedule (corruption, link flaps, "
+                             "switch failure, PFC storms; see repro.faults) "
+                             "into every run of the sweep")
     parser.add_argument("--csv", default=None, metavar="DIR",
                         help="also write the result rows as CSV files into DIR")
     parser.add_argument("--out", default=None, metavar="PATH",
@@ -207,6 +212,18 @@ def main(argv=None) -> int:
     if args.audit:
         # Via the environment so pool workers (fork or spawn) inherit it.
         os.environ["TLT_AUDIT"] = "1"
+
+    if args.faults:
+        from repro.faults.schedule import FaultSchedule
+
+        try:
+            FaultSchedule.load(args.faults)  # fail fast on a bad spec
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"--faults {args.faults}: {exc}", file=sys.stderr)
+            return 2
+        # Via the environment so pool workers inherit it; the resolved
+        # spec is folded into result-cache keys (Job.cache_key).
+        os.environ["TLT_FAULTS"] = os.path.abspath(args.faults)
 
     if args.profile:
         # Worker processes would escape the profiler, and cache hits

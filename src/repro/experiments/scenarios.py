@@ -30,6 +30,7 @@ from typing import Dict, Optional
 from repro.audit import AuditConfig, Auditor
 from repro.core.config import TltConfig
 from repro.experiments.perf import TALLY
+from repro.faults.schedule import FaultController, FaultSchedule
 from repro.net.topology import Network, TopologyParams, dumbbell, leaf_spine, star
 from repro.sim.units import GBPS, KB, MICROS, MILLIS
 from repro.switchsim.ecn import RedEcn, StepEcn
@@ -101,6 +102,11 @@ class ScenarioConfig:
     #: to the ``TLT_AUDIT`` environment variable (set by ``--audit``),
     #: which also reaches pool workers and keeps cache keys stable.
     audit: Optional[bool] = None
+    #: Fault-schedule spec (the :class:`repro.faults.FaultSchedule` JSON
+    #: form). ``None`` defers to the ``TLT_FAULTS`` environment variable
+    #: (a spec file path, set by ``--faults``), which also reaches pool
+    #: workers; the resolved spec is folded into cache keys.
+    faults: Optional[Dict] = None
 
     # -- derived ----------------------------------------------------------------
 
@@ -134,6 +140,19 @@ class ScenarioConfig:
             return self.audit
         return os.environ.get("TLT_AUDIT", "") not in ("", "0")
 
+    def resolved_faults(self) -> Optional[Dict]:
+        """The fault-schedule spec for this run, canonicalized, or None.
+
+        An explicit ``faults`` spec on the config wins; otherwise
+        ``TLT_FAULTS`` names a spec file to load.
+        """
+        if self.faults is not None:
+            return FaultSchedule.from_spec(self.faults).to_spec()
+        path = os.environ.get("TLT_FAULTS", "")
+        if not path:
+            return None
+        return FaultSchedule.load(path).to_spec()
+
     @property
     def resolved_color_threshold(self) -> Optional[int]:
         if not self.tlt:
@@ -152,6 +171,7 @@ class ScenarioResult:
     duration_ns: int
     queue_samples: list
     auditor: Optional[Auditor] = None
+    faults: Optional[FaultController] = None
 
     @property
     def stats(self):
@@ -183,6 +203,7 @@ class ScenarioResult:
             "pause_fraction": self.pause_fraction(),
             "important_loss_rate": stats.important_loss_rate(),
             "important_fraction": stats.important_fraction_bytes(),
+            "fault_drops": float(stats.drops_fault),
             "incomplete": float(stats.incomplete_flows()),
         }
 
@@ -249,6 +270,10 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     if config.audit_enabled:
         auditor = Auditor(net, AuditConfig(dump_path=os.environ.get("TLT_AUDIT_DUMP") or None))
         auditor.install()
+    fault_controller = None
+    fault_spec = config.resolved_faults()
+    if fault_spec is not None:
+        fault_controller = FaultSchedule.from_spec(fault_spec).install(net)
     tconfig = make_transport_config(config)
     tlt_cfg = config.tlt_config if config.tlt else None
 
@@ -331,4 +356,6 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     if auditor is not None:
         auditor.final_check()
     TALLY.add(net.engine.events_processed, time.perf_counter() - wall_started)
-    return ScenarioResult(config, net, net.engine.now, queue_samples, auditor)
+    return ScenarioResult(
+        config, net, net.engine.now, queue_samples, auditor, fault_controller
+    )

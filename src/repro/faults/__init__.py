@@ -1,0 +1,36 @@
+"""Deterministic fault injection (non-congestion loss).
+
+Everything TLT's §5 fallback story needs to be exercised against:
+corruption (i.i.d. and Gilbert–Elliott bursts), link flaps with FIB
+reroute and blackhole windows, whole-switch failure, and PFC storms —
+all driven by a declarative, seed-derived :class:`FaultSchedule` and
+implemented on the device interceptor chain
+(:class:`repro.net.node.Interceptor`), so they compose with tracing and
+survive audit toggling.
+"""
+
+from repro.faults.models import (
+    BernoulliLoss,
+    FaultInjector,
+    GilbertElliottLoss,
+    LossModel,
+    make_model,
+)
+from repro.faults.schedule import (
+    BlackholeInterceptor,
+    FaultController,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "BernoulliLoss",
+    "BlackholeInterceptor",
+    "FaultController",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "GilbertElliottLoss",
+    "LossModel",
+    "make_model",
+]

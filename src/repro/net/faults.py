@@ -1,47 +1,17 @@
-"""Non-congestion loss injection (corruption, silent drops).
+"""Compatibility shim: fault injection moved to :mod:`repro.faults`.
 
-TLT only concerns congestion losses; losses from problematic hardware
-make it fall back to the underlying transport (§5). This module
-injects exactly those: a :class:`FaultInjector` drops packets at a
-device with a configured probability, regardless of color — unlike
-color-aware dropping, a corrupted green packet is gone too.
+The original 60-line monkey-patching ``FaultInjector`` grew into a full
+subsystem — loss models, declarative fault schedules, blackhole
+windows, PFC storms — living in :mod:`repro.faults` and built on the
+device interceptor chain. Import from there; this module re-exports the
+old names for existing callers.
 """
 
-from __future__ import annotations
+from repro.faults.models import (  # noqa: F401
+    BernoulliLoss,
+    FaultInjector,
+    GilbertElliottLoss,
+    LossModel,
+)
 
-import random
-from typing import Callable, Optional
-
-from repro.net.node import Device
-from repro.net.packet import Color, Packet
-
-
-class FaultInjector:
-    """Random packet corruption at a device's receive path."""
-
-    def __init__(
-        self,
-        device: Device,
-        loss_probability: float,
-        rng: Optional[random.Random] = None,
-        selector: Optional[Callable[[Packet], bool]] = None,
-    ):
-        if not 0 <= loss_probability <= 1:
-            raise ValueError("loss probability must be within [0, 1]")
-        self.probability = loss_probability
-        self.rng = rng or random.Random(0xFA017)
-        self.selector = selector
-        self.corrupted = 0
-        self.corrupted_green = 0
-        self._original = device.receive
-        device.receive = self._receive  # type: ignore[method-assign]
-
-    def _receive(self, packet: Packet, in_port) -> None:
-        if (self.selector is None or self.selector(packet)) and (
-            self.rng.random() < self.probability
-        ):
-            self.corrupted += 1
-            if packet.color == Color.GREEN:
-                self.corrupted_green += 1
-            return  # silently dropped: the wire ate it
-        self._original(packet, in_port)
+__all__ = ["BernoulliLoss", "FaultInjector", "GilbertElliottLoss", "LossModel"]

@@ -5,10 +5,26 @@ switch egress queue) whenever it is idle and not paused by PFC, fully
 serializes each packet at the link rate, then delivers it to the peer
 device after the propagation delay (store-and-forward).
 
+Delivery dispatches *through the receiving device at delivery time*:
+the scheduled callback is the receiving port's :meth:`Port._deliver`
+trampoline, which resolves ``owner.receive`` when the packet lands.
+An interceptor (or audit rebinding) installed while a packet is on the
+wire therefore still sees it — capturing the bound receive method at
+schedule time would silently bypass anything installed mid-flight.
+Heap entries stay bare 4-tuples (the raw-tuple fast path of
+``Engine.schedule_anon``); the trampoline itself is bound once per
+link at :func:`connect` time.
+
 PFC PAUSE/RESUME frames are delivered out-of-band: they are tiny, are
 sent at the highest priority on real hardware, and modeling them as
 instantaneously serialized control messages (propagation delay only) is
 the standard simulator simplification.
+
+Fault injection can take a link administratively *down*
+(:meth:`Port.set_link_state`): a down port stops starting new
+transmissions until it comes back up. Packets already serialized keep
+propagating — the fault layer blackholes them at the receiving device,
+which is where a cut fiber actually loses them.
 """
 
 from __future__ import annotations
@@ -37,12 +53,14 @@ class Port:
         "delay_ns",
         "busy",
         "paused",
+        "down",
         "tx_bytes",
         "tx_packets",
         "pause_frames_rx",
         "paused_ns",
         "_pause_started",
         "_pause_timer",
+        "_peer_deliver",
     )
 
     def __init__(self, engine: Engine, owner: "Device", port_no: int, rate_bps: int, delay_ns: int):
@@ -54,6 +72,7 @@ class Port:
         self.delay_ns = delay_ns
         self.busy = False
         self.paused = False
+        self.down = False  # administratively down (fault injection)
         self.tx_bytes = 0
         self.tx_packets = 0
         # PFC bookkeeping (this port being the *paused* side).
@@ -61,6 +80,9 @@ class Port:
         self.paused_ns = 0
         self._pause_started = 0
         self._pause_timer = None
+        # Bound `peer._deliver`, cached at connect() time so the inner
+        # loop schedules delivery with one attribute load.
+        self._peer_deliver = None
 
     # -- transmission ----------------------------------------------------------
 
@@ -71,7 +93,7 @@ class Port:
 
     def kick(self) -> None:
         """Try to start transmitting the owner's next packet."""
-        if self.busy or self.paused:
+        if self.busy or self.paused or self.down:
             return
         packet = self.owner.poll(self)
         if packet is None:
@@ -89,17 +111,17 @@ class Port:
 
     def _tx_done(self, packet: "Packet") -> None:
         engine = self.engine
-        peer = self.peer
-        if peer is not None:
+        deliver = self._peer_deliver
+        if deliver is not None:
             seq = engine._seq
             engine._seq = seq + 1
             heappush(
                 engine._queue,
-                (engine.now + self.delay_ns, seq, peer.owner.receive, (packet, peer)),
+                (engine.now + self.delay_ns, seq, deliver, (packet,)),
             )
         self.busy = False
         # Inlined kick() — this runs once per transmitted packet.
-        if self.paused:
+        if self.paused or self.down:
             return
         packet = self.owner.poll(self)
         if packet is None:
@@ -113,6 +135,27 @@ class Port:
             engine._queue,
             (engine.now + tx_time_ns(packet.size, self.rate_bps), seq, self._tx_done, (packet,)),
         )
+
+    def _deliver(self, packet: "Packet") -> None:
+        """Hand an arriving packet to the owning device.
+
+        This is the scheduled propagation callback (``self`` is the
+        *receiving* side's port). ``owner.receive`` is resolved here,
+        at delivery time, so the packet traverses whatever interceptor
+        chain / data-path variant is installed when it lands.
+        """
+        self.owner.receive(packet, self)
+
+    # -- link state (fault injection) ------------------------------------------
+
+    def set_link_state(self, up: bool) -> None:
+        """Administratively raise or cut this direction of the link."""
+        if up:
+            if self.down:
+                self.down = False
+                self.kick()
+        else:
+            self.down = True
 
     # -- PFC -------------------------------------------------------------------
 
@@ -160,3 +203,5 @@ def connect(a: Port, b: Port) -> None:
     """Wire two ports together as a full-duplex link."""
     a.peer = b
     b.peer = a
+    a._peer_deliver = b._deliver
+    b._peer_deliver = a._deliver

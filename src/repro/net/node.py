@@ -1,26 +1,75 @@
-"""Devices: the common device interface, hosts and host NICs."""
+"""Devices: the common device interface, hosts and host NICs.
+
+Receive-path interception
+-------------------------
+
+Every :class:`Device` carries an ordered list of *interceptors* between
+the wire and its receive implementation. Loss models
+(:class:`repro.faults.FaultInjector`), debugging taps
+(:class:`repro.sim.trace.PacketTracer`) and test drop filters all
+install through :meth:`Device.add_interceptor` instead of
+monkey-patching ``device.receive`` — so they compose in a defined
+order, survive the switch rebinding its audited/fast data-path
+variants, and can be added or removed mid-run.
+
+The chain is compiled into nested closures whenever it changes: with no
+interceptors installed, ``device.receive`` *is* the base implementation
+(the uninstrumented hot path pays nothing). Links dispatch through the
+device at delivery time (see :meth:`repro.net.link.Port._deliver`), so
+a packet already in flight still traverses an interceptor installed
+before it lands.
+"""
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.net.link import Port
 from repro.net.packet import Packet, recycle
 from repro.sim.engine import Engine
 
 
+class Interceptor:
+    """Base class for receive-path interceptors.
+
+    Subclasses override :meth:`on_packet` and either call
+    ``forward(packet, in_port)`` to pass the packet down the chain or
+    return without calling it to consume (drop) the packet. An
+    interceptor that drops is responsible for accounting and for
+    returning the packet to the free list (``recycle``).
+    """
+
+    def on_packet(self, packet: Packet, in_port: Port, forward: Callable) -> None:
+        forward(packet, in_port)
+
+
+def _stage(interceptor: Interceptor, nxt: Callable) -> Callable:
+    """One compiled chain stage: interceptor -> rest of the chain."""
+
+    def stage(packet, in_port, _on_packet=interceptor.on_packet, _next=nxt):
+        _on_packet(packet, in_port, _next)
+
+    return stage
+
+
 class Device:
     """Anything with ports: a host or a switch.
 
-    Subclasses implement :meth:`receive` (packet arrived on ``in_port``)
-    and :meth:`poll` (the port asks for the next packet to serialize).
+    Subclasses implement the receive path (packet arrived on
+    ``in_port``) — registered via :meth:`_set_base_receive` — and
+    :meth:`poll` (the port asks for the next packet to serialize).
+    ``self.receive`` is always the effective entry point: the base
+    implementation with the interceptor chain (if any) compiled in
+    front of it.
     """
 
     def __init__(self, engine: Engine, name: str):
         self.engine = engine
         self.name = name
         self.ports: list = []
+        self._interceptors: List[Interceptor] = []
+        self._base_receive: Optional[Callable] = None
 
     def add_port(self, rate_bps: int, delay_ns: int) -> Port:
         port = Port(self.engine, self, len(self.ports), rate_bps, delay_ns)
@@ -36,6 +85,49 @@ class Device:
     def receive_pause(self, duration_ns: int, in_port: Port) -> None:
         """A PFC PAUSE arrived: stop transmitting out of ``in_port``."""
         in_port.apply_pause(duration_ns)
+
+    # -- receive-path interception ---------------------------------------------
+
+    def _set_base_receive(self, fn: Callable) -> None:
+        """Register (or swap) the base receive implementation.
+
+        The interceptor chain is preserved across swaps — this is how
+        :meth:`repro.switchsim.switch.Switch.set_auditor` rebinds its
+        fast/audited variants without dropping installed interceptors.
+        """
+        self._base_receive = fn
+        self._rebuild_receive()
+
+    def _rebuild_receive(self) -> None:
+        chain = self._base_receive
+        for interceptor in reversed(self._interceptors):
+            chain = _stage(interceptor, chain)
+        self.receive = chain  # type: ignore[method-assign]
+
+    def add_interceptor(self, interceptor: Interceptor, index: Optional[int] = None) -> None:
+        """Install ``interceptor``; earliest-installed runs first.
+
+        ``index`` inserts at a specific chain position (0 = closest to
+        the wire). Takes effect immediately, including for packets
+        already in flight toward this device.
+        """
+        if interceptor in self._interceptors:
+            raise ValueError(f"{interceptor!r} is already installed on {self.name}")
+        if index is None:
+            self._interceptors.append(interceptor)
+        else:
+            self._interceptors.insert(index, interceptor)
+        self._rebuild_receive()
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        """Uninstall ``interceptor``; raises ValueError if absent."""
+        self._interceptors.remove(interceptor)
+        self._rebuild_receive()
+
+    @property
+    def interceptors(self) -> tuple:
+        """The installed interceptors, in traversal order."""
+        return tuple(self._interceptors)
 
     def __repr__(self) -> str:  # pragma: no cover
         return self.name
@@ -76,6 +168,7 @@ class Host(Device):
         # dict itself is mutated in place, so the binding stays valid).
         self._endpoint_for = self.endpoints.get
         self.port: Optional[Port] = None  # set by topology builder
+        self._set_base_receive(self._sink_receive)
 
     def attach_port(self, rate_bps: int, delay_ns: int) -> Port:
         self.port = self.add_port(rate_bps, delay_ns)
@@ -83,7 +176,7 @@ class Host(Device):
 
     # -- device interface ------------------------------------------------------
 
-    def receive(self, packet: Packet, in_port: Port) -> None:
+    def _sink_receive(self, packet: Packet, in_port: Port) -> None:
         endpoint = self._endpoint_for(packet.flow_id)
         if endpoint is not None:
             endpoint.on_packet(packet)

@@ -46,3 +46,35 @@ class Fib:
 
     def candidates(self, dst_host: int) -> Tuple[int, ...]:
         return self._routes[dst_host]
+
+    # -- fault injection ---------------------------------------------------------
+
+    def disable_port(self, port_no: int):
+        """Withdraw ``port_no`` from every route (link/switch failure).
+
+        Multi-candidate routes are narrowed in place (ECMP re-spreads
+        over the survivors). A destination whose *only* candidate was
+        the dead port keeps its stale route — the fault layer blackholes
+        those packets before lookup — and is reported as unroutable.
+
+        Returns ``(saved, unroutable)``: the original candidate tuples
+        of every affected destination (pass back to
+        :meth:`restore_routes`) and the set of destinations left with no
+        surviving path.
+        """
+        saved: Dict[int, Tuple[int, ...]] = {}
+        unroutable = set()
+        for dst, ports in self._routes.items():
+            if port_no not in ports:
+                continue
+            saved[dst] = ports
+            remaining = tuple(p for p in ports if p != port_no)
+            if remaining:
+                self._routes[dst] = remaining
+            else:
+                unroutable.add(dst)
+        return saved, unroutable
+
+    def restore_routes(self, saved: Dict[int, Tuple[int, ...]]) -> None:
+        """Reinstate candidate sets saved by :meth:`disable_port`."""
+        self._routes.update(saved)

@@ -47,6 +47,16 @@ class Network:
     def host(self, host_id: int) -> Host:
         return self.hosts[host_id]
 
+    def device(self, name: str):
+        """Look up any device (host or switch) by name."""
+        for device in self.switches:
+            if device.name == name:
+                return device
+        for device in self.hosts:
+            if device.name == name:
+                return device
+        raise KeyError(f"no device named {name!r}")
+
     # -- aggregate statistics helpers ----------------------------------------
 
     def total_pause_frames(self) -> int:

@@ -1,8 +1,10 @@
 """Packet tracing: a debugging tool for simulation runs.
 
-A :class:`PacketTracer` wraps device receive paths (zero cost unless
-attached) and records one line per observed packet event. Filter by
-flow to follow a single connection through the fabric::
+A :class:`PacketTracer` installs a tap interceptor on every device's
+receive chain (:meth:`repro.net.node.Device.add_interceptor` — zero
+cost unless attached, composes with fault injection and audit) and
+records one line per observed packet event. Filter by flow to follow a
+single connection through the fabric::
 
     from repro.sim.trace import PacketTracer
 
@@ -15,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set, Tuple
 
+from repro.net.node import Interceptor
 from repro.net.packet import set_pooling
 
 
@@ -41,6 +44,24 @@ class TraceEvent:
         )
 
 
+class _TraceTap(Interceptor):
+    """Per-device tap: records matching packets, always forwards."""
+
+    def __init__(self, tracer: "PacketTracer", device_name: str):
+        self.tracer = tracer
+        self.device_name = device_name
+
+    def on_packet(self, packet, in_port, forward) -> None:
+        tracer = self.tracer
+        if (tracer.flow_ids is None or packet.flow_id in tracer.flow_ids) and len(
+            tracer.events
+        ) < tracer.max_events:
+            tracer.events.append(
+                TraceEvent(tracer.engine.now, self.device_name, packet)
+            )
+        forward(packet, in_port)
+
+
 class PacketTracer:
     """Records packet arrivals at every device of a network."""
 
@@ -49,31 +70,21 @@ class PacketTracer:
         self.flow_ids: Optional[Set[int]] = set(flow_ids) if flow_ids is not None else None
         self.max_events = max_events
         self.events: List[TraceEvent] = []
-        self._wrapped: List[Tuple[object, object]] = []
-        # Trace events hold live Packet references; stop the pool from
-        # reinitialising them under us while the tracer is attached.
+        self._taps: List[Tuple[object, _TraceTap]] = []
+        # A traced packet's fields are copied at observation time, but
+        # handlers downstream may still be inspecting packets the trace
+        # points at; keep pooled reuse off while tracing.
         set_pooling(False)
         for device in list(net.switches) + list(net.hosts):
-            self._wrap(device)
-
-    def _wrap(self, device) -> None:
-        original = device.receive
-
-        def tapped(packet, in_port, _original=original, _name=device.name):
-            if (self.flow_ids is None or packet.flow_id in self.flow_ids) and len(
-                self.events
-            ) < self.max_events:
-                self.events.append(TraceEvent(self.engine.now, _name, packet))
-            _original(packet, in_port)
-
-        self._wrapped.append((device, original))
-        device.receive = tapped
+            tap = _TraceTap(self, device.name)
+            device.add_interceptor(tap)
+            self._taps.append((device, tap))
 
     def detach(self) -> None:
-        """Restore the original receive paths."""
-        for device, original in self._wrapped:
-            device.receive = original
-        self._wrapped.clear()
+        """Remove the taps from every device."""
+        for device, tap in self._taps:
+            device.remove_interceptor(tap)
+        self._taps.clear()
 
     def to_text(self) -> str:
         return "\n".join(event.format() for event in self.events)

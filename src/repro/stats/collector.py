@@ -121,6 +121,7 @@ class NetStats:
     """
 
     def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
         # Host-side packet accounting.
         self.green_data_packets = 0
         self.red_data_packets = 0
@@ -139,6 +140,16 @@ class NetStats:
         self.drops_green_ctrl = 0
         self.drops_red_ctrl = 0
         self.drop_bytes = 0
+        # Non-congestion (fault-injected) losses: corruption, blackhole
+        # windows during link/switch failures. Kept apart from the
+        # congestion counters above so the §4 green-drop faithfulness
+        # numbers stay about congestion while ``important_loss_rate``
+        # still sees every lost green data packet.
+        self.drops_fault = 0
+        self.drops_fault_green = 0
+        self.drops_fault_red = 0
+        self.drops_fault_green_data = 0
+        self.drops_fault_bytes = 0
         self.ecn_marks = 0
         # PFC accounting.
         self.pause_frames = 0
@@ -185,6 +196,22 @@ class NetStats:
             else:
                 self.drops_green_ctrl += 1
 
+    def count_fault_drop(self, packet) -> None:
+        """Account one non-congestion loss (corruption, blackhole).
+
+        Deliberately *not* folded into :meth:`count_drop`: the audit
+        green-drop checker and the congestion-drop columns must only see
+        drops the admission pipeline chose to make.
+        """
+        self.drops_fault += 1
+        self.drops_fault_bytes += packet.size
+        if packet.color == Color.RED:
+            self.drops_fault_red += 1
+        else:
+            self.drops_fault_green += 1
+            if packet.kind == PacketKind.DATA:
+                self.drops_fault_green_data += 1
+
     # -- derived metrics ---------------------------------------------------------
 
     def fct_list(self, group: str) -> List[int]:
@@ -228,11 +255,15 @@ class NetStats:
 
         Numerator and denominator both count data packets only:
         control packets (SYN/ACK/FIN/NACK/CNP) are forced green but are
-        not part of the green data volume Table 1 reports on.
+        not part of the green data volume Table 1 reports on. Fault
+        (non-congestion) losses of green data count too — a corrupted
+        important packet is just as lost as a congestion-dropped one.
         """
         if self.green_data_packets == 0:
             return 0.0
-        return self.drops_green_data / self.green_data_packets
+        return (
+            self.drops_green_data + self.drops_fault_green_data
+        ) / self.green_data_packets
 
     def important_fraction_bytes(self) -> float:
         """Fraction of transmitted data volume marked important."""

@@ -83,10 +83,11 @@ class Switch(Device):
         self.drops_green = 0
         # Optional runtime invariant auditor (repro.audit.Auditor).
         # The data path comes in two variants — with and without audit
-        # hooks — bound to ``self.receive``/``self.poll`` so an
-        # un-audited run never tests ``audit is None`` per packet.
+        # hooks — registered as the *base* receive implementation so an
+        # un-audited run never tests ``audit is None`` per packet, and
+        # so interceptors survive audit toggling.
         self.audit = None
-        self.receive = self._receive_fast
+        self._set_base_receive(self._receive_fast)
         self.poll = self._poll_fast
 
     # -- construction ------------------------------------------------------------
@@ -117,18 +118,19 @@ class Switch(Device):
     def set_auditor(self, auditor) -> None:
         """Attach (or detach, with ``None``) the runtime auditor.
 
-        Binds the audited or the hook-free data-path variant to
-        ``self.receive``/``self.poll``. Wrappers that intercept the
-        receive path (``FaultInjector``, ``PacketTracer``) must be
-        installed *after* the auditor: rebinding replaces the instance
-        attribute they wrapped.
+        Swaps the audited or the hook-free data-path variant in as the
+        *base* receive implementation. Interceptors installed via
+        :meth:`Device.add_interceptor` (``FaultInjector``,
+        ``PacketTracer``, test taps) are preserved across the swap, in
+        order — audit can be toggled at any point without disconnecting
+        them.
         """
         self.audit = auditor
         if auditor is None:
-            self.receive = self._receive_fast
+            self._set_base_receive(self._receive_fast)
             self.poll = self._poll_fast
         else:
-            self.receive = self._receive_audited
+            self._set_base_receive(self._receive_audited)
             self.poll = self._poll_audited
 
     # -- data path ---------------------------------------------------------------

@@ -284,3 +284,31 @@ def test_audited_scenario_with_pfc_and_tlt():
     assert result.auditor is not None
     assert result.auditor.checks_run >= 2
     assert result.stats.incomplete_flows() == 0
+
+
+def test_audited_scenario_with_corruption_faults():
+    """Fault drops are not congestion drops: a corrupting run under
+    audit must leave every checker silent (the §4 green-drop check only
+    fires on congestion loss) while fault counters fill up."""
+    spec = {"events": [
+        {"time_ns": 0, "kind": "corruption_on", "target": "tor0",
+         "params": {"model": "bernoulli", "rate": 0.01}},
+        {"time_ns": 0, "kind": "corruption_on", "target": "tor1",
+         "params": {"model": "gilbert_elliott", "p_enter": 0.005,
+                    "p_exit": 0.2, "loss_bad": 1.0}},
+    ]}
+    result = run_scenario(ScenarioConfig(
+        transport="dctcp", tlt=True, scale=FAST, audit=True, faults=spec))
+    assert result.auditor is not None
+    assert result.auditor.checks_run >= 2
+    stats = result.stats
+    assert stats.drops_fault > 0
+    assert stats.drops_green == 0
+    # Fault drops land in the forensic ring, tagged as such.
+    kinds = {e["kind"] for e in result.auditor.ring.to_list()}
+    assert result.auditor.ring.recorded > 0
+    fault_entries = [e for e in result.auditor.ring.to_list()
+                     if e["kind"] == "fault_drop"]
+    if fault_entries:  # ring is bounded; entries may have rotated out
+        assert fault_entries[0]["info"] in ("corruption", "blackhole")
+    assert "drop" not in kinds or stats.drops_red > 0

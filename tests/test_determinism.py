@@ -146,3 +146,27 @@ def test_repeat_run_is_bit_identical():
     (catches state leaking across runs, e.g. through the packet pool)."""
     config = CONFIGS["dctcp_tlt"]
     assert fingerprint(config()) == fingerprint(config())
+
+
+def test_faulted_run_is_bit_identical():
+    """A run with an armed fault schedule (corruption + a link flap +
+    a PFC storm) is still a pure function of config and seed — and it
+    genuinely diverges from the clean run it is derived from."""
+    spec = {"events": [
+        {"time_ns": 0, "kind": "corruption_on", "target": "tor0",
+         "params": {"model": "gilbert_elliott", "p_enter": 0.001,
+                    "p_exit": 0.2, "loss_bad": 1.0}},
+        {"time_ns": 40_000_000, "kind": "corruption_off", "target": "tor0"},
+        {"time_ns": 5_000_000, "kind": "link_down", "target": "tor1:0"},
+        {"time_ns": 15_000_000, "kind": "link_up", "target": "tor1:0"},
+        {"time_ns": 20_000_000, "kind": "pfc_storm", "target": "tor0:0",
+         "params": {"duration_ns": 2_000_000}},
+    ]}
+
+    def config() -> ScenarioConfig:
+        return ScenarioConfig(transport="dctcp", tlt=True, scale=TINY,
+                              seed=3, audit=False, faults=spec)
+
+    faulted = fingerprint(config())
+    assert faulted == fingerprint(config())
+    assert faulted != EXPECTED["dctcp_tlt"]

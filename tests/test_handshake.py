@@ -5,7 +5,7 @@ from repro.net.packet import Color, PacketKind, TltMark
 from repro.sim.units import MILLIS
 from repro.transport.base import TransportConfig
 
-from tests.util import DropFilter, run_flow, small_star
+from tests.util import DropFilter, PacketTap, run_flow, small_star
 
 import pytest
 
@@ -17,13 +17,7 @@ pytestmark = pytest.mark.usefixtures("no_packet_pool")
 class Tap:
     def __init__(self, switch):
         self.packets = []
-        original = switch.receive
-
-        def tapped(packet, in_port):
-            self.packets.append(packet)
-            original(packet, in_port)
-
-        switch.receive = tapped
+        PacketTap(switch, self.packets.append)
 
     def kinds(self):
         return [p.kind for p in self.packets]

@@ -1,0 +1,165 @@
+"""Tests for the receive-path interceptor chain (repro.net.node).
+
+The chain replaced the old ``device.receive = wrapper`` monkey-patch
+idiom, whose wrappers were silently disconnected whenever the switch
+rebound its data path (``set_auditor``). These tests pin the contract:
+ordering, add/remove semantics, the zero-cost empty chain, survival
+across audit toggling, and delivery-time dispatch for in-flight packets.
+"""
+
+import pytest
+
+from repro.audit import Auditor
+from repro.faults import FaultInjector
+from repro.net.node import Interceptor
+from repro.net.packet import PacketKind
+from tests.util import PacketTap, run_flow, small_star
+
+
+class Recorder(Interceptor):
+    """Tags every packet it sees with its label, in chain order."""
+
+    def __init__(self, label, log):
+        self.label = label
+        self.log = log
+
+    def on_packet(self, packet, in_port, forward):
+        self.log.append(self.label)
+        forward(packet, in_port)
+
+
+class Sink(Interceptor):
+    """Consumes everything (without recycling: packets stay inspectable)."""
+
+    def __init__(self):
+        self.eaten = 0
+
+    def on_packet(self, packet, in_port, forward):
+        self.eaten += 1
+
+
+# -- chain mechanics ----------------------------------------------------------
+
+
+def test_empty_chain_is_the_base_implementation():
+    """With no interceptors, receive IS the base method — the
+    uninstrumented hot path pays zero indirection."""
+    net = small_star()
+    switch = net.switches[0]
+    assert switch.receive == switch._receive_fast
+    tap = PacketTap(switch, lambda p: None)
+    assert switch.receive != switch._receive_fast
+    switch.remove_interceptor(tap)
+    assert switch.receive == switch._receive_fast
+
+
+def test_interceptors_run_in_install_order():
+    net = small_star()
+    switch = net.switches[0]
+    log = []
+    switch.add_interceptor(Recorder("a", log))
+    switch.add_interceptor(Recorder("b", log))
+    run_flow(net, "tcp", size=1_000)
+    assert log[:2] == ["a", "b"]
+
+
+def test_index_zero_installs_closest_to_the_wire():
+    net = small_star()
+    switch = net.switches[0]
+    log = []
+    switch.add_interceptor(Recorder("late", log))
+    switch.add_interceptor(Recorder("wire", log), index=0)
+    run_flow(net, "tcp", size=1_000)
+    assert log[:2] == ["wire", "late"]
+
+
+def test_duplicate_install_rejected():
+    net = small_star()
+    switch = net.switches[0]
+    tap = Recorder("a", [])
+    switch.add_interceptor(tap)
+    with pytest.raises(ValueError):
+        switch.add_interceptor(tap)
+
+
+def test_remove_unknown_interceptor_raises():
+    net = small_star()
+    with pytest.raises(ValueError):
+        net.switches[0].remove_interceptor(Recorder("x", []))
+
+
+def test_consuming_interceptor_stops_the_chain():
+    net = small_star()
+    switch = net.switches[0]
+    sink = Sink()
+    downstream = []
+    switch.add_interceptor(sink)
+    switch.add_interceptor(Recorder("after", downstream))
+    spec_run = run_flow(net, "tcp", size=1_000, until=1_000_000)
+    assert sink.eaten > 0
+    assert downstream == []  # nothing got past the sink
+    assert not spec_run[2].completed
+
+
+def test_interceptors_on_hosts():
+    net = small_star()
+    seen = []
+    PacketTap(net.hosts[1], seen.append)
+    _, _, record = run_flow(net, "tcp", size=5_000)
+    assert record.completed
+    assert any(p.kind == PacketKind.DATA for p in seen)
+
+
+# -- survival across audit toggling (the bug this PR fixes) -------------------
+
+
+def test_audit_toggle_preserves_interceptors():
+    """Attaching/detaching the auditor rebinds the switch data path;
+    interceptors must survive both directions of the swap."""
+    net = small_star()
+    switch = net.switches[0]
+    log = []
+    recorder = Recorder("tap", log)
+    switch.add_interceptor(recorder)
+
+    auditor = Auditor(net).install()
+    assert switch._base_receive == switch._receive_audited
+    assert switch.interceptors == (recorder,)
+    run_flow(net, "tcp", size=2_000)
+    seen_audited = len(log)
+    assert seen_audited > 0
+
+    auditor.detach()
+    assert switch._base_receive == switch._receive_fast
+    from repro.net.packet import Packet
+
+    net.hosts[0].send(Packet(net.new_flow_id(), 0, 1, PacketKind.DATA, seq=0,
+                             payload=1000))
+    net.engine.run(until=net.engine.now + 1_000_000)
+    assert len(log) == seen_audited + 1  # still connected on the fast path
+
+
+def test_injector_survives_audit_toggle():
+    net = small_star()
+    switch = net.switches[0]
+    injector = FaultInjector(switch, 1.0)
+    auditor = Auditor(net).install()
+    auditor.detach()
+    run_flow(net, "tcp", size=1_460, until=1_000_000)
+    assert injector.corrupted > 0
+
+
+def test_in_flight_packet_hits_interceptor_installed_after_send():
+    """Links resolve the receive path at delivery time: an interceptor
+    installed while a packet is on the wire still sees it land."""
+    net = small_star()
+    switch = net.switches[0]
+    host = net.hosts[0]
+    from repro.net.packet import Packet
+
+    packet = Packet(net.new_flow_id(), 0, 1, PacketKind.DATA, seq=0, payload=1000)
+    host.send(packet)  # serializes + schedules delivery
+    sink = Sink()
+    switch.add_interceptor(sink)  # installed AFTER the send
+    net.engine.run(until=1_000_000)
+    assert sink.eaten == 1

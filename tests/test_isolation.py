@@ -6,7 +6,7 @@ from repro.net.packet import Color, Packet, PacketKind
 from repro.transport.base import FlowSpec, TransportConfig
 from repro.transport.registry import create_flow
 
-from tests.util import small_star
+from tests.util import PacketTap, small_star
 
 
 def _data(flow, src, dst, tclass=0, color=Color.GREEN, seq=0):
@@ -88,13 +88,7 @@ def test_transport_stamps_traffic_class():
     net = small_star(num_traffic_classes=2, buffer_bytes=500_000)
     seen = []
     switch = net.switches[0]
-    original = switch.receive
-
-    def tap(packet, in_port):
-        seen.append(packet.tclass)
-        original(packet, in_port)
-
-    switch.receive = tap
+    PacketTap(switch, lambda packet: seen.append(packet.tclass))
     config = TransportConfig(base_rtt_ns=4_000, traffic_class=1)
     spec = FlowSpec(flow_id=net.new_flow_id(), src=0, dst=1, size=10_000)
     create_flow("tcp", net, spec, config)

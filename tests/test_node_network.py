@@ -7,7 +7,7 @@ from repro.transport.base import FlowSpec, TransportConfig
 from repro.transport.dcqcn import DcqcnRateControl
 from repro.transport.registry import create_flow
 
-from tests.util import DropFilter, run_flow, small_star
+from tests.util import DropFilter, PacketTap, run_flow, small_star
 
 
 def test_nic_queue_accounting():
@@ -52,14 +52,11 @@ def test_gbn_receiver_sends_one_nack_per_gap():
     net = small_star()
     nacks = []
     switch = net.switches[0]
-    original = switch.receive
-
-    def tap(packet, in_port):
+    def tap(packet):
         if packet.kind == PacketKind.NACK:
             nacks.append(packet.ack)
-        original(packet, in_port)
 
-    switch.receive = tap
+    PacketTap(switch, tap)
     drop = DropFilter(switch)
     drop.drop_seq_once(2)
     _, _, record = run_flow(net, "dcqcn", size=30_000,

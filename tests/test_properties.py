@@ -15,6 +15,7 @@ from repro.sim.engine import Engine
 from repro.transport.base import FlowSpec, TransportConfig
 from repro.transport.registry import create_flow
 
+from repro.net.node import Interceptor
 from tests.util import small_star
 
 SLOW = settings(
@@ -24,7 +25,7 @@ SLOW = settings(
 )
 
 
-class RandomLoss:
+class RandomLoss(Interceptor):
     """Drop data packets by index according to a fixed pattern."""
 
     def __init__(self, switch, drop_indices, red_only=False):
@@ -32,20 +33,18 @@ class RandomLoss:
         self.red_only = red_only
         self.count = 0
         self.dropped = 0
-        original = switch.receive
+        switch.add_interceptor(self)
 
-        def tapped(packet, in_port):
-            if packet.kind == PacketKind.DATA:
-                index = self.count
-                self.count += 1
-                if index in self.drop_indices and (
-                    not self.red_only or packet.color == Color.RED
-                ):
-                    self.dropped += 1
-                    return
-            original(packet, in_port)
-
-        switch.receive = tapped
+    def on_packet(self, packet, in_port, forward):
+        if packet.kind == PacketKind.DATA:
+            index = self.count
+            self.count += 1
+            if index in self.drop_indices and (
+                not self.red_only or packet.color == Color.RED
+            ):
+                self.dropped += 1
+                return
+        forward(packet, in_port)
 
 
 @SLOW

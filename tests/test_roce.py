@@ -8,7 +8,7 @@ from repro.transport.dcqcn import DcqcnRateControl
 from repro.transport.registry import create_flow
 from repro.sim.engine import Engine
 
-from tests.util import DropFilter, run_flow, small_star
+from tests.util import DropFilter, PacketTap, run_flow, small_star
 
 import pytest
 
@@ -42,14 +42,11 @@ def test_gbn_receiver_nacks_out_of_order():
     net = small_star()
     nacks = []
     switch = net.switches[0]
-    original = switch.receive
-
-    def tap(packet, in_port):
+    def tap(packet):
         if packet.kind == PacketKind.NACK:
             nacks.append(packet)
-        original(packet, in_port)
 
-    switch.receive = tap
+    PacketTap(switch, tap)
     drop = DropFilter(switch)
     drop.drop_seq_once(3)
     _, _, record = run_flow(net, "dcqcn", size=50_000, config=roce_config())
@@ -191,14 +188,11 @@ def test_roce_receiver_acks_every_packet():
     net = small_star()
     acks = [0]
     switch = net.switches[0]
-    original = switch.receive
-
-    def tap(packet, in_port):
+    def tap(packet):
         if packet.kind == PacketKind.ACK:
             acks[0] += 1
-        original(packet, in_port)
 
-    switch.receive = tap
+    PacketTap(switch, tap)
     run_flow(net, "dcqcn", size=50_000, config=roce_config())
     assert acks[0] >= 50  # one per data packet
 

@@ -12,7 +12,7 @@ from repro.switchsim.switch import SwitchConfig
 from repro.transport.base import FlowSpec, TransportConfig
 from repro.transport.registry import create_flow
 
-from tests.util import run_flow, small_star
+from tests.util import PacketTap, run_flow, small_star
 
 
 def cfg(**kw):
@@ -25,14 +25,11 @@ def test_cnp_rate_limited_to_one_per_interval():
     net = small_star(ecn=RedEcn(0, 1, 1.0, random.Random(1)))  # mark everything
     cnps = []
     switch = net.switches[0]
-    original = switch.receive
-
-    def tap(packet, in_port):
+    def tap(packet):
         if packet.kind == PacketKind.CNP:
             cnps.append(net.engine.now)
-        original(packet, in_port)
 
-    switch.receive = tap
+    PacketTap(switch, tap)
     _, _, record = run_flow(net, "dcqcn", size=400_000, config=cfg())
     assert record.completed
     assert cnps, "expected CNPs under universal marking"
@@ -63,14 +60,11 @@ def test_hpcc_int_stack_has_one_record_per_switch_hop():
     net = leaf_spine(num_spines=1, num_tors=2, hosts_per_tor=2, params=params)
     int_lengths = []
     receiver_host = net.host(3)
-    original = receiver_host.receive
-
-    def tap(packet, in_port):
+    def tap(packet):
         if packet.kind == PacketKind.DATA and packet.int_records is not None:
             int_lengths.append(len(packet.int_records))
-        original(packet, in_port)
 
-    receiver_host.receive = tap
+    PacketTap(receiver_host, tap)
     spec = FlowSpec(flow_id=net.new_flow_id(), src=0, dst=3, size=20_000)
     create_flow("hpcc", net, spec, cfg())
     net.engine.run()

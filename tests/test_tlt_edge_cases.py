@@ -8,7 +8,7 @@ from repro.sim.units import MILLIS
 from repro.transport.base import FlowSpec, TransportConfig
 from repro.transport.registry import create_flow
 
-from tests.util import DropFilter, run_flow, small_star
+from tests.util import DropFilter, PacketTap, run_flow, small_star
 
 
 def test_masking_losses_scenario():
@@ -45,14 +45,11 @@ def test_single_packet_flow_is_important():
     net = small_star()
     greens = []
     switch = net.switches[0]
-    original = switch.receive
-
-    def tap(packet, in_port):
+    def tap(packet):
         if packet.kind == PacketKind.DATA:
             greens.append(packet.mark)
-        original(packet, in_port)
 
-    switch.receive = tap
+    PacketTap(switch, tap)
     _, _, record = run_flow(net, "tcp", size=100, tlt=TltConfig())
     assert record.completed
     assert greens == [TltMark.IMPORTANT_DATA]

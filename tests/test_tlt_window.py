@@ -6,7 +6,7 @@ from repro.sim.units import MILLIS
 from repro.transport.base import FlowSpec, TransportConfig
 from repro.transport.registry import create_flow
 
-from tests.util import DropFilter, run_flow, small_star
+from tests.util import DropFilter, PacketTap, run_flow, small_star
 
 
 class Tap:
@@ -14,13 +14,7 @@ class Tap:
 
     def __init__(self, switch):
         self.packets = []
-        original = switch.receive
-
-        def tapped(packet, in_port):
-            self.packets.append((switch.engine.now, packet))
-            original(packet, in_port)
-
-        switch.receive = tapped
+        PacketTap(switch, lambda packet: self.packets.append((switch.engine.now, packet)))
 
     def data(self):
         return [p for _, p in self.packets if p.kind == PacketKind.DATA]
@@ -82,9 +76,7 @@ def test_one_important_in_flight_invariant():
     net = small_star()
     events = []
     switch = net.switches[0]
-    original = switch.receive
-
-    def tapped(packet, in_port):
+    def tapped(packet):
         if packet.mark in (
             TltMark.IMPORTANT_DATA,
             TltMark.IMPORTANT_ECHO,
@@ -92,9 +84,8 @@ def test_one_important_in_flight_invariant():
             TltMark.IMPORTANT_CLOCK_ECHO,
         ):
             events.append((net.engine.now, packet.mark, packet.kind))
-        original(packet, in_port)
 
-    switch.receive = tapped
+    PacketTap(switch, tapped)
     run_flow(net, "tcp", size=300_000, tlt=TltConfig())
     # Data and echo important events must alternate: an important data
     # packet is only sent after the previous echo came back.

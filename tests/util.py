@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro.net.node import Interceptor
 from repro.net.packet import Packet
 from repro.net.topology import Network, TopologyParams, star
 from repro.switchsim.switch import SwitchConfig
@@ -21,20 +22,39 @@ def small_star(num_hosts: int = 4, delay_ns: int = 1_000, **switch_kwargs) -> Ne
     return star(num_hosts=num_hosts, params=params)
 
 
-class DropFilter:
+class PacketTap(Interceptor):
+    """Observe every packet arriving at a device, then forward it.
+
+    Replaces the old ``device.receive = wrapper`` test idiom, which
+    broke whenever anything else (audit toggling, another wrapper)
+    rebound the receive path.
+    """
+
+    def __init__(self, device, fn: Callable[[Packet], None]):
+        self.device = device
+        self._fn = fn
+        device.add_interceptor(self)
+
+    def on_packet(self, packet: Packet, in_port, forward) -> None:
+        self._fn(packet)
+        forward(packet, in_port)
+
+
+class DropFilter(Interceptor):
     """Deterministically drop selected packets at a switch.
 
     ``predicate(packet)`` returning True drops the packet (and counts
     it). Use ``drop_once(selector)`` helpers to drop the first packet
-    matching a condition exactly once.
+    matching a condition exactly once. Installed on the switch's
+    interceptor chain, so it survives audit toggling and composes with
+    fault injection.
     """
 
     def __init__(self, switch):
         self.switch = switch
         self.dropped: List[Packet] = []
         self._predicates: List[Callable[[Packet], bool]] = []
-        self._original = switch.receive
-        switch.receive = self._receive  # type: ignore[method-assign]
+        switch.add_interceptor(self)
 
     def add(self, predicate: Callable[[Packet], bool]) -> None:
         self._predicates.append(predicate)
@@ -56,12 +76,13 @@ class DropFilter:
 
         self.drop_once(lambda p: p.kind == PacketKind.DATA and p.seq == seq)
 
-    def _receive(self, packet: Packet, in_port) -> None:
+    def on_packet(self, packet: Packet, in_port, forward) -> None:
         for predicate in self._predicates:
             if predicate(packet):
+                # Kept (not recycled): tests inspect dropped packets.
                 self.dropped.append(packet)
                 return
-        self._original(packet, in_port)
+        forward(packet, in_port)
 
 
 # -- failure-injection metrics for the parallel job runner ------------------
