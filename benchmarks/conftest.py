@@ -35,6 +35,9 @@ def bench_execution():
     """
     prev_audit = os.environ.get("TLT_AUDIT")
     os.environ["TLT_AUDIT"] = "0"
+    # Likewise telemetry: a leaked TLT_TELEMETRY would attach samplers
+    # (and stream JSONL) to every scenario run being timed.
+    prev_telemetry = os.environ.pop("TLT_TELEMETRY", None)
     try:
         with parallel.execution(
             jobs=max(1, int(os.environ.get("TLT_BENCH_JOBS", "1"))),
@@ -46,6 +49,8 @@ def bench_execution():
             os.environ.pop("TLT_AUDIT", None)
         else:
             os.environ["TLT_AUDIT"] = prev_audit
+        if prev_telemetry is not None:
+            os.environ["TLT_TELEMETRY"] = prev_telemetry
 
 
 @pytest.fixture

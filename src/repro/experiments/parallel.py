@@ -117,6 +117,14 @@ class Job:
         faults = config.resolved_faults()
         if faults != config.faults:
             config = replace(config, faults=faults)
+        # Telemetry is deliberately *not* folded in (contrast faults
+        # above): it is an observation, not a result — attaching
+        # samplers changes no simulation observable, so a telemetry run
+        # and a plain run share one cache entry. Corollary: a cache hit
+        # re-simulates nothing and emits no telemetry (--no-cache
+        # forces fresh streams).
+        if config.telemetry is not None:
+            config = replace(config, telemetry=None)
         return fingerprint(config, self.seed, self.metrics)
 
 

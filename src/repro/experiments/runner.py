@@ -192,6 +192,15 @@ def main(argv=None) -> int:
                         help="inject a fault schedule (corruption, link flaps, "
                              "switch failure, PFC storms; see repro.faults) "
                              "into every run of the sweep")
+    parser.add_argument("--telemetry", default=None, metavar="OUTDIR",
+                        help="attach the telemetry subsystem to every run: "
+                             "streaming JSONL samples, Prometheus exposition, "
+                             "an ASCII run report and flight-recorder dumps "
+                             "into OUTDIR; per-worker streams are merged into "
+                             "OUTDIR/merged.jsonl after the sweep (cached "
+                             "runs are not re-simulated and emit no "
+                             "telemetry — combine with --no-cache for fresh "
+                             "streams)")
     parser.add_argument("--csv", default=None, metavar="DIR",
                         help="also write the result rows as CSV files into DIR")
     parser.add_argument("--out", default=None, metavar="PATH",
@@ -225,6 +234,11 @@ def main(argv=None) -> int:
         # spec is folded into result-cache keys (Job.cache_key).
         os.environ["TLT_FAULTS"] = os.path.abspath(args.faults)
 
+    if args.telemetry:
+        # Via the environment so pool workers inherit it. Telemetry is
+        # excluded from cache keys (observation, not result).
+        os.environ["TLT_TELEMETRY"] = os.path.abspath(args.telemetry)
+
     if args.profile:
         # Worker processes would escape the profiler, and cache hits
         # would leave it nothing to measure.
@@ -254,6 +268,14 @@ def main(argv=None) -> int:
 
     for name in names:
         _run_one(name, args)
+
+    if args.telemetry:
+        # Deterministic merge of per-worker streams by (seed, sim time).
+        from repro.telemetry import merge_streams
+
+        merged, count = merge_streams(args.telemetry)
+        if merged:
+            print(f"merged {count} telemetry records -> {merged}")
     return 0
 
 

@@ -27,7 +27,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-from repro.audit import AuditConfig, Auditor
+from repro.audit import AuditConfig, AuditError, Auditor
 from repro.core.config import TltConfig
 from repro.experiments.perf import TALLY
 from repro.faults.schedule import FaultController, FaultSchedule
@@ -107,6 +107,14 @@ class ScenarioConfig:
     #: (a spec file path, set by ``--faults``), which also reaches pool
     #: workers; the resolved spec is folded into cache keys.
     faults: Optional[Dict] = None
+    #: Telemetry spec (:class:`repro.telemetry.TelemetryConfig` dict
+    #: form, or just an output-directory string). ``None`` defers to the
+    #: ``TLT_TELEMETRY`` environment variable (an output directory, set
+    #: by ``--telemetry``), which also reaches pool workers. Telemetry
+    #: is an observation, not a result: it is *excluded* from
+    #: result-cache keys, and samplers never perturb the simulation —
+    #: determinism fingerprints are bit-identical with it on.
+    telemetry: Optional[Dict] = None
 
     # -- derived ----------------------------------------------------------------
 
@@ -153,6 +161,21 @@ class ScenarioConfig:
             return None
         return FaultSchedule.load(path).to_spec()
 
+    def resolved_telemetry(self) -> Optional[Dict]:
+        """The telemetry spec for this run, canonicalized, or None.
+
+        An explicit ``telemetry`` spec on the config wins; otherwise
+        ``TLT_TELEMETRY`` names an output directory.
+        """
+        from repro.telemetry import TelemetryConfig
+
+        if self.telemetry is not None:
+            return TelemetryConfig.from_spec(self.telemetry).to_spec()
+        out_dir = os.environ.get("TLT_TELEMETRY", "")
+        if not out_dir:
+            return None
+        return TelemetryConfig.from_spec(out_dir).to_spec()
+
     @property
     def resolved_color_threshold(self) -> Optional[int]:
         if not self.tlt:
@@ -172,6 +195,8 @@ class ScenarioResult:
     queue_samples: list
     auditor: Optional[Auditor] = None
     faults: Optional[FaultController] = None
+    #: Attached :class:`repro.telemetry.Telemetry` (finalized), or None.
+    telemetry: Optional[object] = None
 
     @property
     def stats(self):
@@ -262,6 +287,24 @@ def make_transport_config(config: ScenarioConfig) -> TransportConfig:
     return tconfig
 
 
+def _telemetry_run_id(config: ScenarioConfig) -> str:
+    """Stable per-(config, seed) identifier for telemetry file names.
+
+    Derived from the same canonical config encoding the result cache
+    uses (telemetry itself stripped — it must not name its own files),
+    so parallel workers and reruns agree without coordination.
+    """
+    import hashlib
+    import json
+
+    from repro.experiments.cache import encode_value
+
+    blob = json.dumps(encode_value(replace(config, telemetry=None)), sort_keys=True)
+    digest = hashlib.sha256(blob.encode()).hexdigest()[:8]
+    tag = f"{config.transport}_tlt" if config.tlt else config.transport
+    return f"{tag}_s{config.seed}_{digest}"
+
+
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Build, run and measure one scenario."""
     wall_started = time.perf_counter()
@@ -340,6 +383,27 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             net.engine.schedule(config.queue_sample_interval_ns, sample_queues)
 
     net.engine.schedule(config.queue_sample_interval_ns, sample_queues)
+
+    # Telemetry rides the same liveness rule as the sampler above, so
+    # attaching it never extends a run; its samplers only read state,
+    # so every simulation observable stays bit-identical.
+    telemetry = None
+    telemetry_spec = config.resolved_telemetry()
+    if telemetry_spec is not None:
+        from repro.telemetry import Telemetry, TelemetryConfig
+
+        telemetry_config = TelemetryConfig.from_spec(telemetry_spec)
+        telemetry = Telemetry(
+            net, telemetry_config, scenario=config,
+            run_id=telemetry_config.run_id or _telemetry_run_id(config),
+        )
+        telemetry.install(
+            active=lambda: net.engine.now < end_of_traffic
+            or bool(net.stats.incomplete_flows())
+        )
+        if fault_controller is not None:
+            telemetry.attach_faults(fault_controller)
+
     hard_cap = config.hard_cap_ns or (horizon + 10 * config.drain_ns)
     # The topology, transports and traffic schedule built above are
     # long-lived: move them to the GC's permanent generation so young-
@@ -347,15 +411,30 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     gc.collect()
     gc.freeze()
     try:
-        net.engine.run(until=horizon)
-        while net.stats.incomplete_flows() and net.engine.now < hard_cap and net.engine.pending:
-            net.engine.run(until=min(net.engine.now + 50 * MILLIS, hard_cap))
-    finally:
-        gc.unfreeze()
+        try:
+            net.engine.run(until=horizon)
+            while (
+                net.stats.incomplete_flows()
+                and net.engine.now < hard_cap
+                and net.engine.pending
+            ):
+                net.engine.run(until=min(net.engine.now + 50 * MILLIS, hard_cap))
+        finally:
+            gc.unfreeze()
 
-    if auditor is not None:
-        auditor.final_check()
+        if auditor is not None:
+            auditor.final_check()
+    except AuditError as error:
+        # Post-mortem: snapshot the sample window + audit trace before
+        # the violation propagates.
+        if telemetry is not None:
+            telemetry.on_audit_error(error)
+        raise
+    finally:
+        if telemetry is not None:
+            telemetry.finalize()
     TALLY.add(net.engine.events_processed, time.perf_counter() - wall_started)
     return ScenarioResult(
-        config, net, net.engine.now, queue_samples, auditor, fault_controller
+        config, net, net.engine.now, queue_samples, auditor, fault_controller,
+        telemetry,
     )

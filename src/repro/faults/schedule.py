@@ -247,6 +247,9 @@ class FaultController:
         #: (device name, port_no) -> (saved routes, unroutable dsts)
         self._withdrawn: Dict[Tuple[str, int], Tuple[Dict, Set[int]]] = {}
         self.applied: List[Tuple[int, str, str]] = []
+        #: Optional post-apply hook ``fn(event)`` (set by
+        #: repro.telemetry.Telemetry to trigger flight-recorder dumps).
+        self.on_apply = None
         self._devices: Dict[str, Device] = {
             d.name: d for d in list(net.switches) + list(net.hosts)
         }
@@ -262,6 +265,8 @@ class FaultController:
     def _apply(self, event: FaultEvent) -> None:
         getattr(self, "_ev_" + event.kind)(event)
         self.applied.append((self.engine.now, event.kind, event.target))
+        if self.on_apply is not None:
+            self.on_apply(event)
 
     # -- target resolution -------------------------------------------------------
 

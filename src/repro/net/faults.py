@@ -7,11 +7,19 @@ device interceptor chain. Import from there; this module re-exports the
 old names for existing callers.
 """
 
+import warnings
+
 from repro.faults.models import (  # noqa: F401
     BernoulliLoss,
     FaultInjector,
     GilbertElliottLoss,
     LossModel,
+)
+
+warnings.warn(
+    "repro.net.faults is deprecated; import from repro.faults instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["BernoulliLoss", "FaultInjector", "GilbertElliottLoss", "LossModel"]

@@ -164,6 +164,10 @@ class NetStats:
         self.flows: Dict[int, FlowRecord] = {}
         # Optional audit trace ring (set by repro.audit.Auditor).
         self.audit_ring = None
+        # Optional RTO-fire hook ``fn(flow_id, rto_ns)`` (set by
+        # repro.telemetry.Telemetry to trigger flight-recorder dumps).
+        # RTO fires are rare, so the check stays off the hot path.
+        self.on_rto_fire = None
 
     # -- flow bookkeeping ------------------------------------------------------
 

@@ -1,77 +1,19 @@
-"""Windowed time-series measurement: link utilization and throughput.
+"""Windowed time-series measurement (compatibility alias).
 
-A :class:`LinkUtilization` samples a port's cumulative transmitted
-bytes on a fixed interval, yielding a utilization series — used by the
-deep-dive experiments to show where the bottleneck sits and how much
-capacity TLT's proactive drops actually cost.
+:class:`LinkUtilization` moved into the telemetry sampler framework —
+its canonical home is :class:`repro.telemetry.samplers.LinkUtilization`
+(same constructor, ``samples``/``mean``/``peak``/``busy_fraction``/
+``stop`` API, now scheduled on the engine's timer wheel). This module
+re-exports it for existing callers; new code should import from
+:mod:`repro.telemetry` and prefer a full :class:`repro.telemetry.Telemetry`
+attachment when more than one port is of interest.
+
+.. deprecated:: PR5
+   Import :class:`LinkUtilization` from :mod:`repro.telemetry` instead.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from repro.telemetry.samplers import LinkUtilization
 
-from repro.net.link import Port
-from repro.sim.engine import Engine
-
-
-class LinkUtilization:
-    """Periodic utilization sampling of one port."""
-
-    def __init__(
-        self,
-        engine: Engine,
-        port: Port,
-        interval_ns: int = 100_000,
-        duration_ns: Optional[int] = None,
-    ):
-        """Sample ``port`` every ``interval_ns``.
-
-        Without ``duration_ns`` the sampler keeps the event queue alive
-        until :meth:`stop` is called — bound the engine with
-        ``run(until=...)`` or pass a duration.
-        """
-        if interval_ns <= 0:
-            raise ValueError("interval must be positive")
-        self.engine = engine
-        self.port = port
-        self.interval_ns = interval_ns
-        self.samples: List[float] = []
-        self._last_bytes = port.tx_bytes
-        self._capacity_bytes = port.rate_bps * interval_ns / 8 / 1e9
-        self._stop_at = engine.now + duration_ns if duration_ns is not None else None
-        self._event = engine.schedule(interval_ns, self._sample)
-        self._stopped = False
-
-    def _sample(self) -> None:
-        if self._stopped:
-            return
-        sent = self.port.tx_bytes - self._last_bytes
-        self._last_bytes = self.port.tx_bytes
-        self.samples.append(min(sent / self._capacity_bytes, 1.0))
-        if self._stop_at is not None and self.engine.now >= self._stop_at:
-            self._stopped = True
-            self._event = None
-            return
-        self._event = self.engine.schedule(self.interval_ns, self._sample)
-
-    def stop(self) -> None:
-        self._stopped = True
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
-
-    @property
-    def mean(self) -> float:
-        if not self.samples:
-            return 0.0
-        return sum(self.samples) / len(self.samples)
-
-    @property
-    def peak(self) -> float:
-        return max(self.samples, default=0.0)
-
-    def busy_fraction(self, threshold: float = 0.9) -> float:
-        """Fraction of sampling windows above ``threshold`` utilization."""
-        if not self.samples:
-            return 0.0
-        return sum(1 for s in self.samples if s >= threshold) / len(self.samples)
+__all__ = ["LinkUtilization"]

@@ -1,0 +1,94 @@
+"""Flight recorder: bounded sample window + JSON dumps on trigger events.
+
+Production transports keep a post-mortem ring so the interesting part
+of a run — the seconds *before* something went wrong — survives the
+crash. This is that, for the simulator: the recorder retains a bounded
+window of the most recent telemetry samples and, when triggered, dumps
+a JSON snapshot cross-linking three subsystems:
+
+- **telemetry**: the retained sample window (what queues/flows/PFC
+  looked like leading up to the event);
+- **audit**: the tail of the auditor's :class:`repro.audit.EventRing`
+  hot-path trace, when an auditor is attached;
+- the **trigger** itself — an :class:`repro.audit.AuditError`, an RTO
+  fire, or an applied fault-schedule event.
+
+Dumps are capped (``max_dumps``) so a pathological run (RTO storm)
+cannot fill the disk; suppressed triggers are counted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.telemetry.exporters import SCHEMA_VERSION
+
+
+class FlightRecorder:
+    """Bounded recent-sample window with triggered JSON snapshots."""
+
+    def __init__(
+        self,
+        out_dir: str,
+        run_id: str,
+        engine=None,
+        window: int = 2048,
+        max_dumps: int = 8,
+        ring_tail: int = 256,
+    ):
+        self.out_dir = out_dir
+        self.run_id = run_id
+        self.engine = engine
+        self.window: deque = deque(maxlen=window)
+        self.max_dumps = max_dumps
+        self.ring_tail = ring_tail
+        #: Callable returning the audit EventRing (or None); bound by
+        #: :class:`repro.telemetry.Telemetry` so dumps see the ring the
+        #: auditor actually installed, whenever it was installed.
+        self.ring_provider = lambda: None
+        self.dumps: List[str] = []
+        self.suppressed = 0
+        self.triggers: List[Dict] = []
+
+    def on_sample(self, record: Dict) -> None:
+        self.window.append(record)
+
+    def trigger(self, kind: str, info: Optional[Dict] = None) -> Optional[str]:
+        """Record a trigger and dump a snapshot; returns the dump path
+        (None once ``max_dumps`` snapshots exist — still counted)."""
+        now = self.engine.now if self.engine is not None else 0
+        trigger = {"kind": kind, "time_ns": now}
+        if info:
+            trigger.update(info)
+        self.triggers.append(trigger)
+        if len(self.dumps) >= self.max_dumps:
+            self.suppressed += 1
+            return None
+        ring = self.ring_provider()
+        audit_trace = ring.to_list()[-self.ring_tail:] if ring is not None else []
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "run": self.run_id,
+            "trigger": trigger,
+            "samples": list(self.window),
+            "audit_trace": audit_trace,
+        }
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(
+            self.out_dir, f"flight_{self.run_id}_{len(self.dumps):03d}.json"
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        self.dumps.append(path)
+        return path
+
+    def summary(self) -> Dict:
+        return {
+            "dumps": list(self.dumps),
+            "triggers": len(self.triggers),
+            "suppressed": self.suppressed,
+        }

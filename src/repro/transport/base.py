@@ -673,6 +673,8 @@ class ByteStreamSender:
                 "rto_fire", flow=self.spec.flow_id, time_ns=self.engine.now,
                 info=self.rto.current,
             )
+        if self.stats.on_rto_fire is not None:
+            self.stats.on_rto_fire(self.spec.flow_id, self.rto.current)
         self.rto.backoff()
         if not self.established:
             # SYN (or SYN-ACK) lost: retransmit the SYN.

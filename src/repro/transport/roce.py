@@ -469,6 +469,8 @@ class RoceSender:
                 "rto_fire", flow=self.spec.flow_id, time_ns=self.engine.now,
                 info=self.rto.current,
             )
+        if self.stats.on_rto_fire is not None:
+            self.stats.on_rto_fire(self.spec.flow_id, self.rto.current)
         self.rto.backoff()
         self.dupacks = 0
         first = None

@@ -1,0 +1,67 @@
+"""Direct tests for repro.experiments.export (CSV/JSON writers)."""
+
+import csv
+import json
+import os
+
+from repro.experiments.export import rows_to_csv, write_json
+
+
+def _read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_rows_to_csv_union_columns_first_seen_order(tmp_path):
+    """With no explicit columns, the header is the union of row keys in
+    first-seen order — later rows append their new keys at the end."""
+    rows = [
+        {"b": 1, "a": 2},
+        {"a": 3, "c": 4},
+    ]
+    path = rows_to_csv(rows, str(tmp_path / "out.csv"))
+    parsed = _read_csv(path)
+    assert parsed[0] == ["b", "a", "c"]
+    assert parsed[1] == ["1", "2", ""]  # missing keys render empty
+    assert parsed[2] == ["", "3", "4"]
+
+
+def test_rows_to_csv_explicit_columns_select_and_order(tmp_path):
+    """Explicit columns pick order and drop extras (extrasaction=ignore)."""
+    rows = [{"x": 1, "y": 2, "z": 3}]
+    path = rows_to_csv(rows, str(tmp_path / "out.csv"), columns=("z", "x"))
+    parsed = _read_csv(path)
+    assert parsed == [["z", "x"], ["3", "1"]]
+
+
+def test_rows_to_csv_escapes_delimiters_and_quotes(tmp_path):
+    """Values with commas, quotes and newlines survive a round-trip."""
+    nasty = 'a,"b"\nc'
+    path = rows_to_csv([{"k": nasty, "n": 7}], str(tmp_path / "out.csv"))
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows[0]["k"] == nasty
+    assert rows[0]["n"] == "7"
+
+
+def test_rows_to_csv_creates_directories_and_returns_path(tmp_path):
+    target = tmp_path / "deep" / "nested" / "out.csv"
+    path = rows_to_csv([{"a": 1}], str(target))
+    assert path == str(target)
+    assert os.path.exists(path)
+
+
+def test_rows_to_csv_empty_rows_writes_empty_header(tmp_path):
+    path = rows_to_csv([], str(tmp_path / "empty.csv"))
+    assert _read_csv(path) == [[]]
+
+
+def test_write_json_round_trip_sorted_and_newline_terminated(tmp_path):
+    payload = {"zeta": [1, 2, {"nested": True}], "alpha": None, "mid": 1.5}
+    path = write_json(payload, str(tmp_path / "sub" / "doc.json"))
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    assert json.loads(text) == payload
+    assert text.endswith("\n")
+    # sort_keys=True: stable output for diffs/caching.
+    assert text.index('"alpha"') < text.index('"mid"') < text.index('"zeta"')

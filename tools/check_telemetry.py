@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Schema-validate telemetry output (JSONL streams + flight dumps).
+
+Usage::
+
+    python tools/check_telemetry.py OUTDIR [OUTDIR ...] [--expect-flight]
+    python tools/check_telemetry.py run_foo.jsonl
+
+For a directory, every ``*.jsonl`` stream in it is validated line by
+line against the record schema (base fields + per-stream required
+fields + value invariants like ``red <= occ``), ``merged.jsonl`` is
+additionally checked for deterministic (seed, t, run, i) ordering, and
+every ``flight_*.json`` dump is checked for the snapshot schema.
+``--expect-flight`` fails unless at least one flight dump is present —
+used by CI's faulted telemetry smoke run. Exit status 0 = clean.
+
+The per-stream field lists are the ones the samplers declare
+(:data:`repro.telemetry.samplers.STREAM_FIELDS`): one source of truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+try:
+    from repro.telemetry.samplers import STREAM_FIELDS
+    from repro.telemetry.exporters import SCHEMA_VERSION
+except ImportError:  # pragma: no cover - tooling convenience
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.telemetry.samplers import STREAM_FIELDS
+    from repro.telemetry.exporters import SCHEMA_VERSION
+
+BASE_FIELDS = ("t", "i", "run", "seed", "stream")
+
+
+def _check_record(record: Dict, where: str, errors: List[str]) -> None:
+    for field in BASE_FIELDS:
+        if field not in record:
+            errors.append(f"{where}: missing base field {field!r}")
+            return
+    if not isinstance(record["t"], int) or record["t"] < 0:
+        errors.append(f"{where}: t must be a non-negative int (sim ns)")
+    if not isinstance(record["i"], int) or record["i"] < 0:
+        errors.append(f"{where}: i must be a non-negative int")
+    stream = record["stream"]
+    fields = STREAM_FIELDS.get(stream)
+    if fields is None:
+        errors.append(f"{where}: unknown stream {stream!r}")
+        return
+    missing = [f for f in fields if f not in record]
+    if missing:
+        errors.append(f"{where}: stream {stream!r} missing fields {missing}")
+        return
+    if stream == "queue":
+        if record["occ"] <= 0 or record["red"] < 0 or record["red"] > record["occ"]:
+            errors.append(f"{where}: queue row needs 0 <= red <= occ, occ > 0")
+        if record["green"] != record["occ"] - record["red"]:
+            errors.append(f"{where}: queue green != occ - red")
+    elif stream == "buffer":
+        if not (0 < record["used"] <= record["capacity"]):
+            errors.append(f"{where}: buffer row needs 0 < used <= capacity")
+        if record["peak"] > record["capacity"]:
+            errors.append(f"{where}: buffer peak exceeds capacity")
+    elif stream == "pfc":
+        if record["paused"] not in (0, 1) or record["asserted"] not in (0, 1):
+            errors.append(f"{where}: pfc paused/asserted must be 0/1")
+        if not (record["paused"] or record["asserted"]):
+            errors.append(f"{where}: pfc row for a quiet port")
+    elif stream == "flow":
+        if record["inflight"] < 0 or record["rto_armed"] not in (0, 1):
+            errors.append(f"{where}: flow row needs inflight >= 0, rto_armed 0/1")
+    elif stream == "link":
+        if not (0 <= record["util"] <= 1):
+            errors.append(f"{where}: link util out of [0, 1]")
+
+
+def check_jsonl(path: str, merged: bool = False) -> Tuple[int, List[str]]:
+    """Validate one JSONL stream; returns (record count, errors)."""
+    errors: List[str] = []
+    count = 0
+    last_t = -1
+    last_i = -1
+    last_key: Tuple = ()
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{os.path.basename(path)}:{lineno}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{where}: invalid JSON ({exc})")
+                continue
+            if not isinstance(record, dict):
+                errors.append(f"{where}: record is not an object")
+                continue
+            count += 1
+            _check_record(record, where, errors)
+            if len(errors) > 20:
+                errors.append("(stopping after 20 errors)")
+                return count, errors
+            if merged:
+                key = (record.get("seed", 0), record.get("t", 0),
+                       str(record.get("run", "")), record.get("i", 0))
+                if key < last_key:
+                    errors.append(f"{where}: merged stream out of "
+                                  f"(seed, t, run, i) order")
+                last_key = key
+            else:
+                if record.get("t", 0) < last_t:
+                    errors.append(f"{where}: sim time went backwards")
+                if record.get("i", 0) <= last_i:
+                    errors.append(f"{where}: emission seq not increasing")
+                last_t = record.get("t", 0)
+                last_i = record.get("i", 0)
+    return count, errors
+
+
+def check_flight(path: str) -> List[str]:
+    """Validate one flight-recorder dump."""
+    errors: List[str] = []
+    name = os.path.basename(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{name}: unreadable ({exc})"]
+    if payload.get("schema") != SCHEMA_VERSION:
+        errors.append(f"{name}: schema != {SCHEMA_VERSION}")
+    trigger = payload.get("trigger")
+    if not isinstance(trigger, dict) or "kind" not in trigger or "time_ns" not in trigger:
+        errors.append(f"{name}: trigger must carry kind + time_ns")
+    if not isinstance(payload.get("samples"), list):
+        errors.append(f"{name}: samples must be a list")
+    else:
+        for i, record in enumerate(payload["samples"][:64]):
+            _check_record(record, f"{name}:samples[{i}]", errors)
+    if not isinstance(payload.get("audit_trace"), list):
+        errors.append(f"{name}: audit_trace must be a list")
+    if "run" not in payload:
+        errors.append(f"{name}: missing run id")
+    return errors
+
+
+def check_dir(out_dir: str) -> Tuple[Dict[str, int], int, List[str]]:
+    """Validate a telemetry output directory.
+
+    Returns (records per jsonl file, flight-dump count, errors).
+    """
+    errors: List[str] = []
+    counts: Dict[str, int] = {}
+    flights = 0
+    for name in sorted(os.listdir(out_dir)):
+        path = os.path.join(out_dir, name)
+        if name.endswith(".jsonl"):
+            count, errs = check_jsonl(path, merged=(name == "merged.jsonl"))
+            counts[name] = count
+            errors.extend(errs)
+        elif name.startswith("flight_") and name.endswith(".json"):
+            flights += 1
+            errors.extend(check_flight(path))
+    return counts, flights, errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="telemetry output directories or .jsonl files")
+    parser.add_argument("--expect-flight", action="store_true",
+                        help="fail unless at least one flight-recorder dump "
+                             "is present (faulted-run smoke)")
+    args = parser.parse_args(argv)
+
+    total = 0
+    flights = 0
+    errors: List[str] = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            counts, nflights, errs = check_dir(path)
+            total += sum(counts.values())
+            flights += nflights
+            errors.extend(errs)
+            for name, count in counts.items():
+                print(f"{path}/{name}: {count} records")
+        else:
+            count, errs = check_jsonl(
+                path, merged=os.path.basename(path) == "merged.jsonl")
+            total += count
+            errors.extend(errs)
+            print(f"{path}: {count} records")
+    if flights:
+        print(f"{flights} flight dump(s) validated")
+    if args.expect_flight and not flights:
+        errors.append("expected at least one flight-recorder dump, found none")
+    if total == 0:
+        errors.append("no telemetry records found")
+    if errors:
+        for error in errors:
+            print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: {total} records schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
