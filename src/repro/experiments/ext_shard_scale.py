@@ -1,0 +1,88 @@
+"""Extension — sharded-execution scaling benchmark.
+
+Runs one incast-heavy leaf-spine scenario twice — single-core and
+split across N shard workers (:mod:`repro.sim.sharding`) — and
+reports wall time, events/sec and the sharded speedup. The two runs
+are bit-identical by contract, and this benchmark asserts the cheap
+projection of that contract (same duration, same merged event count)
+on every invocation, so a scaling regression and a determinism
+regression are both visible in ``bench-report`` output.
+
+The default fabric is the paper-scale 96-host leaf-spine (4 spines x
+12 ToRs x 8 hosts) with a benchmark-sized workload: heavy enough that
+per-window barrier costs amortize, light enough for CI. ``--scale
+tiny`` keeps the determinism-suite fabric for smoke use.
+
+Speedup expectations: on a multi-core runner the sharded run should
+clear 1.5x at 4 shards; on a single hardware core it degrades to
+barrier overhead (<1x) — the ``cores`` field records which situation
+produced the numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.experiments.common import print_table
+from repro.experiments.scale import Scale, TINY
+from repro.experiments.scenarios import ScenarioConfig, run_scenario
+
+#: Paper-scale fabric (96 hosts) with a benchmark-sized workload.
+SHARD96 = Scale("shard96", num_spines=4, num_tors=12, hosts_per_tor=8,
+                bg_flows=200, incast_events=8, incast_flows_per_sender=8)
+
+COLUMNS = ["mode", "shards", "hosts", "wall_s", "events", "ev_per_s",
+           "speedup", "identical"]
+
+
+def default_shards() -> int:
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def run(scale="small", seed: int = 1, shards: Optional[int] = None) -> List[Dict]:
+    name = scale if isinstance(scale, str) else scale.name
+    fabric = TINY if name == "tiny" else SHARD96
+    shards = default_shards() if shards is None else max(2, int(shards))
+    base = ScenarioConfig(transport="dctcp", tlt=True, scale=fabric,
+                          seed=seed, audit=False)
+
+    rows: List[Dict] = []
+    signatures = []
+    for n in (1, shards):
+        started = time.perf_counter()
+        result = run_scenario(replace(base, shards=n))
+        wall_s = time.perf_counter() - started
+        events = result.net.engine.events_processed
+        signatures.append((result.duration_ns, events,
+                           result.net.stats.timeouts,
+                           len(result.net.stats.flows)))
+        rows.append({
+            "mode": "single" if n == 1 else "sharded",
+            "shards": n,
+            "hosts": fabric.num_hosts,
+            "wall_s": round(wall_s, 3),
+            "events": events,
+            "ev_per_s": round(events / wall_s) if wall_s > 0 else None,
+            "speedup": None,
+            "identical": None,
+        })
+
+    identical = signatures[0] == signatures[1]
+    single, sharded = rows
+    if single["wall_s"] and sharded["wall_s"]:
+        sharded["speedup"] = round(single["wall_s"] / sharded["wall_s"], 2)
+    sharded["identical"] = identical
+    sharded["cores"] = os.cpu_count()
+    if not identical:
+        raise AssertionError(
+            f"sharded run diverged from single-core: {signatures[0]} != {signatures[1]}"
+        )
+    return rows
+
+
+def main(scale="small") -> None:
+    print_table(run(scale), COLUMNS,
+                "Extension: sharded execution scaling (bit-identical by contract)")

@@ -125,6 +125,11 @@ class Job:
         # forces fresh streams).
         if config.telemetry is not None:
             config = replace(config, telemetry=None)
+        # Sharding is likewise an execution strategy, not a scenario
+        # input: a sharded run is bit-identical to the single-core run
+        # by contract, so both share one cache entry.
+        if config.shards is not None:
+            config = replace(config, shards=None)
         return fingerprint(config, self.seed, self.metrics)
 
 

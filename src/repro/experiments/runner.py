@@ -57,6 +57,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext-periodic-n": "repro.experiments.ext_periodic_n",
     "ext-corruption": "repro.experiments.ext_corruption",
     "ext-faults": "repro.experiments.ext_faults",
+    "ext-shard-scale": "repro.experiments.ext_shard_scale",
 }
 
 
@@ -201,6 +202,13 @@ def main(argv=None) -> int:
                              "runs are not re-simulated and emit no "
                              "telemetry — combine with --no-cache for fresh "
                              "streams)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="split every leaf-spine run across N shard worker "
+                             "processes synchronized by conservative lookahead "
+                             "(bit-identical results by contract; excluded from "
+                             "cache keys, so combine with --no-cache to force "
+                             "sharded execution; orthogonal to --jobs, which "
+                             "parallelizes across runs)")
     parser.add_argument("--csv", default=None, metavar="DIR",
                         help="also write the result rows as CSV files into DIR")
     parser.add_argument("--out", default=None, metavar="PATH",
@@ -238,6 +246,15 @@ def main(argv=None) -> int:
         # Via the environment so pool workers inherit it. Telemetry is
         # excluded from cache keys (observation, not result).
         os.environ["TLT_TELEMETRY"] = os.path.abspath(args.telemetry)
+
+    if args.shards is not None:
+        if args.shards < 1:
+            print("--shards must be >= 1", file=sys.stderr)
+            return 2
+        # Via the environment so ScenarioConfig.resolved_shards picks it
+        # up in pool workers too. Like telemetry, sharding is an
+        # execution strategy, not a scenario input: cache keys ignore it.
+        os.environ["TLT_SHARDS"] = str(args.shards)
 
     if args.profile:
         # Worker processes would escape the profiler, and cache hits

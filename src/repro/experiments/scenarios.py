@@ -95,6 +95,13 @@ class ScenarioConfig:
 
     # Run control.
     seed: int = 1
+    #: Split the fabric across this many conservative-lookahead shard
+    #: workers (:mod:`repro.sim.sharding`). ``None`` defers to the
+    #: ``TLT_SHARDS`` environment variable (set by ``--shards``), which
+    #: also reaches pool workers. Sharding is an execution strategy,
+    #: not a scenario input — results are bit-identical by contract —
+    #: so it is excluded from result-cache keys.
+    shards: Optional[int] = None
     drain_ns: int = 100 * MILLIS
     hard_cap_ns: Optional[int] = None
     queue_sample_interval_ns: int = 20 * MICROS
@@ -141,6 +148,15 @@ class ScenarioConfig:
     @property
     def bdp_bytes(self) -> int:
         return self.link_rate_bps * self.base_rtt_ns // 8 // 1_000_000_000
+
+    @property
+    def resolved_shards(self) -> int:
+        if self.shards is not None:
+            return max(1, int(self.shards))
+        try:
+            return max(1, int(os.environ.get("TLT_SHARDS", "1")))
+        except ValueError:
+            return 1
 
     @property
     def audit_enabled(self) -> bool:
@@ -307,6 +323,11 @@ def _telemetry_run_id(config: ScenarioConfig) -> str:
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Build, run and measure one scenario."""
+    shards = config.resolved_shards
+    if shards > 1 and config.topology == "leaf_spine":
+        from repro.sim.sharding import run_scenario_sharded
+
+        return run_scenario_sharded(config, shards)
     wall_started = time.perf_counter()
     net = build_network(config)
     auditor = None

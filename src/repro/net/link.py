@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Optional
 
 from heapq import heappush
 
-from repro.sim.engine import Engine
+from repro.sim.engine import WIRE_SEQ_BASE, Engine
 from repro.sim.units import tx_time_ns
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,6 +61,9 @@ class Port:
         "_pause_started",
         "_pause_timer",
         "_peer_deliver",
+        "wire_seq",
+        "cut_id",
+        "shard_out",
     )
 
     def __init__(self, engine: Engine, owner: "Device", port_no: int, rate_bps: int, delay_ns: int):
@@ -83,6 +86,21 @@ class Port:
         # Bound `peer._deliver`, cached at connect() time so the inner
         # loop schedules delivery with one attribute load.
         self._peer_deliver = None
+        # Next heap key for frames this port puts on the wire:
+        # WIRE_SEQ_BASE + (construction rank << 33) + frames emitted.
+        # Same-nanosecond arrivals anywhere in the fabric are thereby
+        # ordered by (emitting port, FIFO index) — a key both a single
+        # engine and the shard owning this port compute identically —
+        # instead of by global push order, which no spatial partition
+        # could reproduce.
+        rank = engine._port_rank
+        engine._port_rank = rank + 1
+        self.wire_seq = WIRE_SEQ_BASE + (rank << 33)
+        # Sharding (repro.sim.sharding): declared here so CutPort can
+        # retarget a built port via __class__ assignment (identical
+        # object layout). -1 / None on every port of an unsharded run.
+        self.cut_id = -1
+        self.shard_out = None
 
     # -- transmission ----------------------------------------------------------
 
@@ -113,8 +131,8 @@ class Port:
         engine = self.engine
         deliver = self._peer_deliver
         if deliver is not None:
-            seq = engine._seq
-            engine._seq = seq + 1
+            seq = self.wire_seq
+            self.wire_seq = seq + 1
             heappush(
                 engine._queue,
                 (engine.now + self.delay_ns, seq, deliver, (packet,)),
@@ -164,7 +182,13 @@ class Port:
         peer = self.peer
         if peer is None:
             return
-        self.engine.schedule_anon(self.delay_ns, peer.owner.receive_pause, duration_ns, peer)
+        engine = self.engine
+        seq = self.wire_seq
+        self.wire_seq = seq + 1
+        heappush(
+            engine._queue,
+            (engine.now + self.delay_ns, seq, peer.owner.receive_pause, (duration_ns, peer)),
+        )
 
     def apply_pause(self, duration_ns: int) -> None:
         """React to a received PAUSE frame on this (transmitting) port."""

@@ -157,6 +157,63 @@ class Packet:
         )
 
 
+# -- flat wire encoding (sharding) ----------------------------------------------
+#
+# Cross-shard packets (repro.sim.sharding) travel between worker
+# processes as flat tuples of ints/tuples — no Packet pickling, and the
+# receiving shard rebuilds through the pool allocator so remote arrivals
+# recycle exactly like local ones.
+
+
+def packet_to_wire(packet: Packet) -> tuple:
+    """Encode a packet as a flat tuple (see :func:`packet_from_wire`)."""
+    ints = packet.int_records
+    echo = packet.int_echo
+    return (
+        packet.flow_id,
+        packet.src,
+        packet.dst,
+        int(packet.kind),
+        packet.seq,
+        packet.payload,
+        packet.size,
+        packet.ack,
+        packet.sack,
+        packet.tclass,
+        packet.ecn_capable,
+        packet.ce,
+        packet.ecn_echo,
+        int(packet.mark),
+        int(packet.color),
+        packet.is_retx,
+        packet.ts_sent,
+        packet.ts_echo,
+        None if ints is None else tuple((r.qlen, r.tx_bytes, r.ts, r.rate_bps) for r in ints),
+        None if echo is None else tuple((r.qlen, r.tx_bytes, r.ts, r.rate_bps) for r in echo),
+    )
+
+
+def packet_from_wire(wire: tuple) -> Packet:
+    """Rebuild a packet from :func:`packet_to_wire` output (pool-aware)."""
+    packet = alloc_packet(wire[0], wire[1], wire[2], PacketKind(wire[3]),
+                          wire[4], wire[5], size=wire[6], ack=wire[7])
+    packet.sack = tuple(tuple(block) for block in wire[8])
+    packet.tclass = wire[9]
+    packet.ecn_capable = wire[10]
+    packet.ce = wire[11]
+    packet.ecn_echo = wire[12]
+    packet.mark = TltMark(wire[13])
+    packet.color = Color(wire[14])
+    packet.is_retx = wire[15]
+    packet.ts_sent = wire[16]
+    packet.ts_echo = wire[17]
+    if wire[18] is not None:
+        packet.int_records = [IntRecord(*fields) for fields in wire[18]]
+    if wire[19] is not None:
+        packet.int_echo = [IntRecord(*fields) for fields in wire[19]]
+    return packet
+
+
 # -- packet pool ----------------------------------------------------------------
 #
 # Transports allocate a Packet per transmission; at tens of thousands of

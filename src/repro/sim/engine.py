@@ -56,6 +56,20 @@ _GC_RUN_THRESHOLDS = (100_000, 20, 20)
 #: via :func:`set_attribution` (used by :mod:`repro.sim.profiler`).
 _ATTRIBUTION: Optional[Dict[str, List[int]]] = None
 
+#: Base of the wire-delivery sequence space. Ordinary events draw
+#: sequence numbers from the engine's global counter (push order); link
+#: deliveries and PFC frames instead carry ``WIRE_SEQ_BASE +
+#: (port_rank << 33) + per_port_count`` (see ``repro.net.link``). Two
+#: same-nanosecond wire arrivals are therefore ordered by a key that is
+#: a pure function of (which port emitted, how many frames it emitted
+#: before) — computable identically by a single engine or by the shard
+#: that owns the emitting port, which is what makes sharded execution
+#: (``repro.sim.sharding``) bit-identical. The base keeps every wire
+#: key above any realistic global counter value, so at one nanosecond
+#: locally-scheduled events (timers, transport callbacks, tx_done)
+#: always execute before wire arrivals.
+WIRE_SEQ_BASE = 1 << 50
+
 
 def set_attribution(table: Optional[Dict[str, List[int]]]) -> None:
     """Install (or clear) the global per-callback attribution table.
@@ -120,6 +134,10 @@ class Engine:
         self._heap_dead = 0  # cancelled entries still in the heap
         self._wheel_min = NEVER  # earliest occupied wheel slot start
         self._wheel = TimerWheel(self)
+        # Construction-order rank handed to each Port; identical
+        # topologies built on fresh engines assign identical ranks,
+        # which anchors the WIRE_SEQ_BASE key space (see link.py).
+        self._port_rank = 0
 
     # -- scheduling ----------------------------------------------------------
 
@@ -291,6 +309,65 @@ class Engine:
             if gc_was_enabled:
                 gc.enable()
         if until is not None and self.now < until:
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self.now = until
+        self._events_processed += processed
+        return processed
+
+    def run_window(self, until: int) -> int:
+        """Run one conservative-lookahead window: every event with
+        ``time <= until``, then set ``now = until``.
+
+        The barrier-stepping primitive used by :mod:`repro.sim.sharding`
+        worker engines. Semantically :meth:`run`'s ``until`` path — same
+        pop loop, same wheel flushing, same end-of-window clock rule —
+        but without the per-call GC threshold dance and profiler
+        attribution: a sharded worker steps thousands of small windows
+        per run, so per-window setup must be near-zero (the worker
+        manages GC once around its whole barrier loop instead).
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        processed = 0
+        queue = self._queue
+        wheel = self._wheel
+        pop = heapq.heappop
+        push = heapq.heappush
+        try:
+            while True:
+                if queue:
+                    entry = pop(queue)
+                    time = entry[0]
+                    if self._wheel_min <= time:
+                        push(queue, entry)
+                        wheel.flush(time)
+                        continue
+                    if time > until:
+                        push(queue, entry)
+                        break
+                    if len(entry) == 4:
+                        fn = entry[2]
+                        args = entry[3]
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._heap_dead -= 1
+                            continue
+                        fn = event.fn
+                        args = event.args
+                    self.now = time
+                    fn(*args)
+                    processed += 1
+                else:
+                    wmin = self._wheel_min
+                    if wmin == NEVER or wmin > until:
+                        break
+                    wheel.flush(wmin)
+        finally:
+            self._running = False
+        if self.now < until:
             next_time = self.peek_time()
             if next_time is None or next_time > until:
                 self.now = until

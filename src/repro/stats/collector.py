@@ -162,6 +162,11 @@ class NetStats:
         self.rtt_samples_bg = Reservoir(MAX_SAMPLES, seed=f"{seed}:rtt_bg")
         self.delivery_samples = Reservoir(MAX_SAMPLES, seed=f"{seed}:delivery")
         self.flows: Dict[int, FlowRecord] = {}
+        # Flow ids whose sender lives on another shard (sharded runs
+        # only, see repro.sim.sharding): the local record is an inert
+        # receiver-side replica — tx/retx/timeout counters stay zero by
+        # construction, so sender-side ledger checks must skip it.
+        self.foreign_src_flows: set = set()
         # Optional audit trace ring (set by repro.audit.Auditor).
         self.audit_ring = None
         # Optional RTO-fire hook ``fn(flow_id, rto_ns)`` (set by

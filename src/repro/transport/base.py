@@ -255,7 +255,13 @@ class ByteStreamSender:
         self._ca_acc = 0  # congestion-avoidance byte accumulator
         self._highest_sacked = 0  # highest SACKed sequence seen
         self._scan_hint = 0  # first index possibly unresolved below SACK
-        self._retx_inflight: set = set()  # retransmitted, awaiting ACK
+        # Retransmitted segments awaiting ACK. An insertion-ordered dict,
+        # not a set: Segment hashes by identity, so set iteration order
+        # would depend on heap addresses — the RACK re-mark loop in
+        # _detect_losses() would then retransmit same-pass losses in a
+        # process-dependent order. Dict iteration is insertion
+        # (= retransmission) order, a pure function of simulation state.
+        self._retx_inflight: dict = {}
         if config.max_cwnd_bytes is not None:
             self.max_cwnd = config.max_cwnd_bytes
         else:
@@ -274,7 +280,9 @@ class ByteStreamSender:
         self.completed = False
 
         host.register_endpoint(spec.flow_id, self)
-        self.engine.schedule_at(spec.start_ns, self.start)
+        # Handle kept so a sharded run can neuter the inert sender
+        # replica on a non-owning shard (repro.sim.sharding).
+        self._start_event = self.engine.schedule_at(spec.start_ns, self.start)
 
     # ------------------------------------------------------------------ start
 
@@ -380,7 +388,7 @@ class ByteStreamSender:
             seg.retx_count += 1
             seg.lost = False
             self.record.retx_bytes += size
-            self._retx_inflight.add(seg)
+            self._retx_inflight[seg] = None
         else:
             seg.first_tx_ns = now
         seg.last_tx_ns = now
@@ -509,7 +517,7 @@ class ByteStreamSender:
                 self.stats.add_delivery_sample(now - seg.first_tx_ns)
             seg.acked = True
             seg.lost = False
-            self._retx_inflight.discard(seg)
+            self._retx_inflight.pop(seg, None)
             idx += 1
         self._head = idx
         if self._scan_hint < idx:
@@ -542,7 +550,7 @@ class ByteStreamSender:
                     if not seg.delivered:
                         seg.delivered = True
                         self.stats.add_delivery_sample(now - seg.first_tx_ns)
-                    self._retx_inflight.discard(seg)
+                    self._retx_inflight.pop(seg, None)
                     newly += seg.size
                 idx += 1
         return newly
@@ -594,7 +602,7 @@ class ByteStreamSender:
         if self._retx_inflight:
             for seg in list(self._retx_inflight):
                 if seg.acked or seg.sacked or seg.lost:
-                    self._retx_inflight.discard(seg)
+                    self._retx_inflight.pop(seg, None)
                     continue
                 if seg.end <= highest and seg.last_tx_ns + srtt <= now:
                     self._mark_lost(seg)
@@ -610,7 +618,7 @@ class ByteStreamSender:
         if seg.in_pipe:
             seg.in_pipe = False
             self.pipe -= seg.size
-        self._retx_inflight.discard(seg)
+        self._retx_inflight.pop(seg, None)
         self.lost_queue.append(seg)
 
     def mark_lost_sent_before(self, tx_time_ns: int) -> int:

@@ -118,7 +118,9 @@ class RoceSender:
         self.completed = False
 
         host.register_endpoint(spec.flow_id, self)
-        self.engine.schedule_at(spec.start_ns, self.start)
+        # Handle kept so a sharded run can neuter the inert sender
+        # replica on a non-owning shard (repro.sim.sharding).
+        self._start_event = self.engine.schedule_at(spec.start_ns, self.start)
 
     # -------------------------------------------------------------- lifecycle
 

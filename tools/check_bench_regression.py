@@ -130,20 +130,48 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
                         help="max tolerated relative throughput drop (default 0.25)")
     parser.add_argument("--update", action="store_true",
-                        help="rewrite the baseline from the current run and exit")
+                        help="rewrite the existing baseline from the current "
+                             "run and exit")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="create the baseline from the current run when "
+                             "none exists yet (refuses to overwrite; use "
+                             "--update to refresh an existing baseline)")
     args = parser.parse_args(argv)
 
+    if not os.path.exists(args.current):
+        print(f"error: benchmark run {args.current} does not exist",
+              file=sys.stderr)
+        return 2
     current = load_rates(args.current)
     if not current:
         print(f"error: no usable benchmarks in {args.current}", file=sys.stderr)
         return 2
+    if args.write_baseline:
+        if os.path.exists(args.baseline):
+            print(f"error: {args.baseline} already exists; use --update to "
+                  f"refresh it", file=sys.stderr)
+            return 2
+        write_baseline(current, args.baseline, source=args.current)
+        print(f"baseline created from {args.current}: "
+              f"{len(current)} benchmarks -> {args.baseline}")
+        return 0
     if args.update:
         write_baseline(current, args.baseline, source=args.current)
         print(f"baseline updated from {args.current}: "
               f"{len(current)} benchmarks -> {args.baseline}")
         return 0
 
+    # A gate without a baseline is no gate: silently passing here would
+    # let CI report green while checking nothing.
+    if not os.path.exists(args.baseline):
+        print(f"error: baseline {args.baseline} does not exist; create it "
+              f"from a trusted run with --write-baseline", file=sys.stderr)
+        return 2
     baseline = load_rates(args.baseline)
+    if not baseline:
+        print(f"error: no usable benchmarks in baseline {args.baseline}; "
+              f"refresh it with --update", file=sys.stderr)
+        return 2
     failures = compare(current, baseline, args.threshold)
     if failures:
         print(f"\n{failures} benchmark(s) regressed beyond "

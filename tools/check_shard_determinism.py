@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Sharded-execution determinism gate for CI.
+
+Runs the determinism suite's pinned scenarios (``tests/
+test_determinism.py``) through the sharded executor and fails unless
+every fingerprint field matches the committed single-core EXPECTED
+values bit-for-bit. This is the contract of ``repro.sim.sharding``:
+``--shards N`` is an execution strategy, not an approximation.
+
+Only configs whose transports are shardable are gated: the RoCE
+RED/ECN family shares one RNG stream across all switches (drawn in
+global packet-arrival order), which no spatial partitioning can
+replay, so ``dcqcn_pfc`` is excluded (see docs/PERFORMANCE.md).
+
+Usage::
+
+    python tools/check_shard_determinism.py --shards 4
+    python tools/check_shard_determinism.py --shards 2 --configs dctcp_tlt
+    python tools/check_shard_determinism.py --shards 2 --inline
+
+``--inline`` forces the in-process worker path (TLT_SHARD_INLINE);
+the default exercises real worker processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import replace
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, os.path.join(REPO, "tests"))
+
+#: EXPECTED configs that the sharded executor reproduces bit-for-bit.
+SHARDABLE = ("dctcp_tlt", "hpcc_tlt")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=2, metavar="N",
+                        help="shard count to verify (default: 2)")
+    parser.add_argument("--configs", default=",".join(SHARDABLE), metavar="IDS",
+                        help="comma-separated determinism-suite config names "
+                             f"(default: {','.join(SHARDABLE)})")
+    parser.add_argument("--inline", action="store_true",
+                        help="run shard workers inline instead of in worker "
+                             "processes")
+    args = parser.parse_args(argv)
+
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.inline:
+        os.environ["TLT_SHARD_INLINE"] = "1"
+
+    from test_determinism import CONFIGS, EXPECTED, fingerprint
+
+    names = [n for n in args.configs.split(",") if n]
+    unknown = [n for n in names if n not in CONFIGS]
+    if unknown:
+        print(f"unknown determinism config(s): {unknown}; "
+              f"available: {sorted(CONFIGS)}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in names:
+        config = replace(CONFIGS[name](), shards=args.shards)
+        actual = fingerprint(config)
+        expected = EXPECTED[name]
+        diffs = [(k, actual[k], expected[k])
+                 for k in expected if actual[k] != expected[k]]
+        if diffs:
+            failures += 1
+            print(f"{name} shards={args.shards}: MISMATCH")
+            for key, got, want in diffs:
+                print(f"  {key}: sharded {got} != single-core {want}")
+        else:
+            print(f"{name} shards={args.shards}: bit-identical "
+                  f"({len(expected)} fingerprint fields)")
+    if failures:
+        print(f"\n{failures} config(s) diverged from the single-core "
+              f"fingerprint", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
