@@ -11,8 +11,8 @@ simulated nanosecond":
 - **drop-time faithfulness check** — the paper's §4 property: a green
   (important) packet must never be dropped by the color check, on a
   lossless (PFC) switch may only be dropped on true pool exhaustion,
-  and on a lossy switch every drop must be justified by the admission
-  math at the instant it happened;
+  and on a lossy switch every drop must be justified by the switch's
+  admission policy (re-evaluated at the instant it happened);
 - **cadence checks** — a self-rescheduling engine event runs the full
   checker suite (buffer conservation, color accounting, PFC
   consistency, flow ledger, clock monotonicity) every ``interval_ns``
@@ -131,15 +131,32 @@ class Auditor:
 
     def _check_drop(self, switch, packet, queue, reason: str,
                     port_occupancy: Optional[int]) -> List[str]:
-        """Green-drop faithfulness (§4, Table 1), verified in-context."""
+        """Green-drop faithfulness (§4, Table 1), verified in-context.
+
+        The admission math is whatever :class:`AdmissionPolicy` the
+        switch runs (Choudhury–Hahne by default), so justification is
+        checked by re-evaluating ``switch.policy`` — nothing changed
+        state between the decision and this hook, so the re-evaluation
+        reproduces it exactly.
+        """
         buffer = switch.buffer
+        policy = switch.policy
         size = packet.size
         violations: List[str] = []
-        if packet.color == Color.GREEN and reason == "color":
-            violations.append(
-                f"{switch.name}: green packet (flow {packet.flow_id}, seq "
-                f"{packet.seq}) dropped by the color-aware check"
-            )
+        if reason == "color":
+            if packet.color == Color.GREEN:
+                violations.append(
+                    f"{switch.name}: green packet (flow {packet.flow_id}, seq "
+                    f"{packet.seq}) dropped by the color-aware check"
+                )
+            else:
+                k = policy.color_threshold(queue)
+                if k is None or queue.red_bytes + size <= k:
+                    violations.append(
+                        f"{switch.name}: unjustified color drop of flow "
+                        f"{packet.flow_id} (red {queue.red_bytes} + {size} "
+                        f"within K {k})"
+                    )
         if reason == "pool" and buffer.used + size <= buffer.capacity:
             violations.append(
                 f"{switch.name}: pool-exhaustion drop of flow {packet.flow_id} "
@@ -153,13 +170,12 @@ class Auditor:
                 )
             elif (
                 port_occupancy is not None
-                and port_occupancy < buffer.dynamic_threshold()
-                and buffer.used + size <= buffer.capacity
+                and policy.admit(queue, port_occupancy, size, False) is None
             ):
                 violations.append(
-                    f"{switch.name}: unjustified dynamic-threshold drop of flow "
-                    f"{packet.flow_id} (port occupancy {port_occupancy} < "
-                    f"threshold {buffer.dynamic_threshold():.0f})"
+                    f"{switch.name}: unjustified dynamic drop of flow "
+                    f"{packet.flow_id} (policy {policy.name} admits "
+                    f"{size} bytes at port occupancy {port_occupancy})"
                 )
         return violations
 

@@ -18,6 +18,8 @@ headline numbers (Table 1, Figs 7/11) silently rely on:
   exceed the flow size, completed flows transmitted at least their
   size, completion timestamps are ordered, and the per-flow timeout
   counters sum to the run-wide one;
+- ``check_policy_state`` — each switch's admission policy holds its
+  own internal invariants (adaptive-K clamp, resolved port budgets);
 - ``check_clock`` — simulated time is monotone and no queued event
   lies in the past.
 
@@ -201,6 +203,19 @@ def check_flow_ledger(net) -> List[str]:
     return violations
 
 
+def check_policy_state(net) -> List[str]:
+    """Each switch's admission policy reports its own violated
+    invariants (e.g. adaptive-K outside its clamp window, BShare with
+    unresolved port budgets)."""
+    violations = []
+    for switch in net.switches:
+        policy = getattr(switch, "policy", None)
+        if policy is None:
+            continue
+        violations.extend(f"{switch.name}: {v}" for v in policy.invariants())
+    return violations
+
+
 def check_clock(net, last_now: Optional[int] = None) -> List[str]:
     violations = []
     engine = net.engine
@@ -222,4 +237,5 @@ ALL_CHECKERS = (
     check_color_accounting,
     check_pfc_consistency,
     check_flow_ledger,
+    check_policy_state,
 )

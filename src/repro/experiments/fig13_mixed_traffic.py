@@ -8,6 +8,7 @@ costing the background flow only ~5.6% goodput.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List
 
 from repro.apps.kvstore import KvClient, KvServer
@@ -26,9 +27,16 @@ VALUE_SIZE = 32_000
 BG_SIZE = 8_000_000
 
 
-def run_one(transport: str = "dctcp", tlt: bool = False, seed: int = 1) -> Dict:
+def run_one(transport: str = "dctcp", tlt: bool = False, seed: int = 1,
+            admission=None) -> Dict:
     # Hosts: 0 = bg sender, 1..8 = web servers, 9 = cache node.
-    net = build_testbed(num_hosts=10, transport=transport, tlt=tlt, seed=seed)
+    net = build_testbed(num_hosts=10, transport=transport, tlt=tlt, seed=seed,
+                        admission=admission)
+    auditor = None
+    if os.environ.get("TLT_AUDIT", "") not in ("", "0"):
+        from repro.audit import Auditor
+
+        auditor = Auditor(net).install()
     tconfig = testbed_transport_config()
     tlt_cfg = maybe_tlt(tlt)
 
@@ -57,6 +65,8 @@ def run_one(transport: str = "dctcp", tlt: bool = False, seed: int = 1) -> Dict:
 
     net.engine.schedule_at(start_ns, burst)
     net.engine.run(until=2_000_000_000)
+    if auditor is not None:
+        auditor.final_check()
 
     fg_times = [t for c in clients for t in c.response_times]
     bg_end = bg_done.get("end", net.engine.now)

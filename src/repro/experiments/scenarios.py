@@ -32,6 +32,7 @@ from repro.core.config import TltConfig
 from repro.experiments.perf import TALLY
 from repro.faults.schedule import FaultController, FaultSchedule
 from repro.net.topology import Network, TopologyParams, dumbbell, leaf_spine, star
+from repro.sim.rng import derive_seed
 from repro.sim.units import GBPS, KB, MICROS, MILLIS
 from repro.switchsim.ecn import RedEcn, StepEcn
 from repro.switchsim.pfc import PfcConfig
@@ -71,6 +72,13 @@ class ScenarioConfig:
     buffer_per_port: int = BUFFER_PER_PORT
     color_threshold_bytes: Optional[int] = None  # default by family when tlt
     alpha: float = 1.0
+    #: Admission-policy spec for every switch (``None`` = the default
+    #: Choudhury–Hahne + static-K on the open-coded fast path; a name
+    #: or ``{"name": ..., params}`` dict selects a lab policy — see
+    #: :func:`repro.switchsim.policy.make_policy`). Part of the result
+    #: identity, so it is folded into result-cache keys like any other
+    #: field.
+    admission: Optional[object] = None
     ecn_k_bytes: int = 200 * KB  # DCTCP step threshold
     dcqcn_kmin: int = 5 * KB
     dcqcn_kmax: int = 200 * KB
@@ -258,22 +266,35 @@ def build_network(config: ScenarioConfig) -> Network:
         else scale.num_hosts
     )
     ecn = None
+    ecn_factory = None
     if config.transport == "dctcp":
+        # Stateless step marking: one shared scheme object is fine.
         ecn = StepEcn(config.ecn_k_bytes)
     elif config.transport in ("dcqcn", "dcqcn-sack", "irn"):
-        ecn = RedEcn(
-            config.dcqcn_kmin,
-            config.dcqcn_kmax,
-            config.dcqcn_pmax,
-            random.Random(config.seed * 7919 + 13),
-        )
+        # RED marking draws an RNG per probabilistic decision, so every
+        # switch needs its *own* stream, seeded by name — a single
+        # fabric-global RNG would make marking depend on global packet
+        # arrival order (and kept the RoCE family out of the sharded
+        # executor: name-derived seeds are identical in every shard
+        # replica, and only the owning shard draws from them).
+        kmin, kmax, pmax = config.dcqcn_kmin, config.dcqcn_kmax, config.dcqcn_pmax
+        seed = config.seed
+
+        def ecn_factory(name: str) -> RedEcn:
+            return RedEcn(
+                kmin, kmax, pmax,
+                random.Random(derive_seed(seed, f"ecn.{name}")),
+            )
+
     switch_config = SwitchConfig(
         buffer_bytes=ports * config.buffer_per_port,
         alpha=config.alpha,
         color_threshold_bytes=config.resolved_color_threshold,
         ecn=ecn,
+        ecn_factory=ecn_factory,
         pfc=PfcConfig(enabled=config.pfc),
         int_enabled=(config.transport == "hpcc"),
+        admission=config.admission,
     )
     params = TopologyParams(
         link_rate_bps=config.link_rate_bps,

@@ -33,14 +33,21 @@ def build_testbed(
     pfc: bool = False,
     color_threshold: int = TESTBED_COLOR_THRESHOLD,
     seed: int = 1,
+    admission=None,
 ) -> Network:
-    """A star 'testbed' with paper switch settings."""
+    """A star 'testbed' with paper switch settings.
+
+    ``admission`` selects the ToR's admission policy (a spec for
+    :func:`repro.switchsim.policy.make_policy`; None = the default
+    Choudhury–Hahne + static-K).
+    """
     config = SwitchConfig(
         buffer_bytes=num_hosts * 375 * KB,
         color_threshold_bytes=color_threshold if tlt else None,
         ecn=StepEcn(TESTBED_ECN_K) if transport == "dctcp" else None,
         pfc=PfcConfig(enabled=pfc),
         int_enabled=(transport == "hpcc"),
+        admission=admission,
     )
     params = TopologyParams(
         link_rate_bps=40 * GBPS,

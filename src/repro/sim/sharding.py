@@ -56,11 +56,13 @@ fingerprint bit-for-bit (CI-enforced, ``tests/test_determinism.py``):
   ticks of shards 1..N-1, so the merged ``events_processed`` equals
   the single-core count exactly.
 
-Known limits (documented in docs/PERFORMANCE.md): transports whose
-switches share one RNG across the fabric (the RoCE RED/ECN family)
-draw in arrival order and cannot match single-core interleaving when
-arrivals split across shards; audited or telemetry-attached runs add
-per-shard observer events to the merged event count.
+Every transport family shards exactly, including the RoCE RED/ECN
+family: each switch owns a name-seeded ECN RNG stream
+(``derive_seed(seed, "ecn.<switch>")`` in ``build_network``), so every
+replica derives the same streams and only the owning shard draws from
+them — no cross-shard RNG interleaving exists to replay. Known limits
+(documented in docs/PERFORMANCE.md): audited or telemetry-attached
+runs add per-shard observer events to the merged event count.
 
 Workers default to one OS process per shard (fork-preferring, same
 policy as the experiment pool). When sharding is requested *inside* a

@@ -3,6 +3,9 @@
 Implements the switch model of §4 of the paper:
 
 - shared-buffer MMU with the Choudhury–Hahne dynamic threshold (α),
+- pluggable admission policies (:mod:`repro.switchsim.policy`:
+  Choudhury–Hahne default, BShare delay-driven sharing, FairQ fair
+  allocation, tiny-buffer regime, adaptive-K controller),
 - color-aware dropping of *red* (unimportant) packets at threshold K,
 - ECN marking (DCTCP step marking, DCQCN RED-like marking),
 - Priority-based Flow Control (802.1Qbb) with XOFF/XON accounting,
@@ -12,6 +15,16 @@ Implements the switch model of §4 of the paper:
 from repro.switchsim.buffer import SharedBuffer
 from repro.switchsim.ecn import EcnScheme, RedEcn, StepEcn
 from repro.switchsim.pfc import PfcConfig, PfcEngine
+from repro.switchsim.policy import (
+    POLICIES,
+    AdaptiveK,
+    AdmissionPolicy,
+    BShare,
+    ChoudhuryHahne,
+    FairQ,
+    TinyBuffer,
+    make_policy,
+)
 from repro.switchsim.queue import EgressQueue
 from repro.switchsim.switch import Switch, SwitchConfig
 
@@ -25,4 +38,12 @@ __all__ = [
     "EgressQueue",
     "Switch",
     "SwitchConfig",
+    "AdmissionPolicy",
+    "ChoudhuryHahne",
+    "BShare",
+    "FairQ",
+    "TinyBuffer",
+    "AdaptiveK",
+    "POLICIES",
+    "make_policy",
 ]

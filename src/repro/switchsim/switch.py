@@ -29,7 +29,7 @@ never red-dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.net.link import Port
 from repro.net.node import Device
@@ -40,22 +40,46 @@ from repro.stats.collector import NetStats
 from repro.switchsim.buffer import SharedBuffer
 from repro.switchsim.ecn import EcnScheme, StepEcn
 from repro.switchsim.pfc import PfcConfig, PfcEngine
+from repro.switchsim.policy import make_policy
 from repro.switchsim.queue import EgressQueue
 
 
 @dataclass
 class SwitchConfig:
-    """Per-switch configuration."""
+    """Per-switch configuration.
+
+    One ``SwitchConfig`` instance is typically shared by every switch
+    of a topology, so anything holding per-switch *state* must be a
+    factory or a declarative spec, instantiated per switch:
+
+    - ``ecn`` carries a shared scheme object (fine for the stateless
+      ``StepEcn``); ``ecn_factory``, when set, wins and is called with
+      the switch name so each switch gets its own scheme instance —
+      scenario builds use it to give every switch an independent
+      name-seeded ``RedEcn`` RNG stream (identical across shard
+      replicas, which is what makes the RoCE family shardable).
+    - ``admission`` is a policy *spec* (``None`` | name | dict — see
+      :func:`repro.switchsim.policy.make_policy`), never an instance.
+      ``None`` keeps the default Choudhury–Hahne + static-K on the
+      open-coded fast paths; any explicit spec binds the generic
+      policy-dispatch variants at construction instead (no per-packet
+      branch either way).
+    """
 
     buffer_bytes: int = 4_500_000  # paper: 4.5 MB per simulated switch
     alpha: float = 1.0
     color_threshold_bytes: Optional[int] = None  # K; None disables coloring
     ecn: Optional[EcnScheme] = None
+    #: Per-switch ECN scheme factory (switch name -> scheme); wins over
+    #: ``ecn`` when set.
+    ecn_factory: Optional[Callable[[str], EcnScheme]] = None
     pfc: PfcConfig = field(default_factory=PfcConfig)
     int_enabled: bool = False
     num_traffic_classes: int = 1
     #: Classes subject to color-aware dropping; None means all classes.
     color_classes: Optional[Tuple[int, ...]] = None
+    #: Admission-policy spec (see repro.switchsim.policy.make_policy).
+    admission: Optional[object] = None
 
 
 class Switch(Device):
@@ -78,6 +102,20 @@ class Switch(Device):
         self._port_queues: List[List[EgressQueue]] = []
         self._rr: List[int] = []  # per-port round-robin pointer
         self.pfc: Optional[PfcEngine] = None
+        # Per-switch ECN scheme: the factory (when set) gives every
+        # switch its own instance — stateful schemes (RedEcn's RNG)
+        # must never be shared fabric-wide through a shared config.
+        self.ecn: Optional[EcnScheme] = (
+            config.ecn_factory(self.name) if config.ecn_factory is not None
+            else config.ecn
+        )
+        # Admission policy, one instance per switch. ``admission=None``
+        # keeps the default Choudhury–Hahne + static-K semantics on the
+        # open-coded fast paths below; an explicit spec dispatches
+        # through the policy object instead. The choice is bound here,
+        # at construction — never re-tested per packet.
+        self.policy = make_policy(config.admission).bind(self)
+        self._default_policy = config.admission is None
         # Local drop counters (stats also aggregates network-wide).
         self.drops_red = 0
         self.drops_green = 0
@@ -87,7 +125,9 @@ class Switch(Device):
         # un-audited run never tests ``audit is None`` per packet, and
         # so interceptors survive audit toggling.
         self.audit = None
-        self._set_base_receive(self._receive_fast)
+        self._set_base_receive(
+            self._receive_fast if self._default_policy else self._receive_policy_fast
+        )
         self.poll = self._poll_fast
 
     # -- construction ------------------------------------------------------------
@@ -101,11 +141,14 @@ class Switch(Device):
         return port
 
     def finalize(self) -> None:
-        """Call after all ports are added: sets up PFC thresholds."""
+        """Call after all ports are added: sets up PFC thresholds and
+        lets the admission policy resolve per-port state (byte budgets,
+        the adaptive-K controller timer)."""
         if self.config.pfc.enabled:
             xoff = self.config.pfc.resolved_xoff(self.config.buffer_bytes, len(self.ports))
             xon = int(xoff * self.config.pfc.xon_fraction)
             self.pfc = PfcEngine(self, xoff, xon)
+        self.policy.on_finalize()
 
     @property
     def queues(self) -> List[EgressQueue]:
@@ -127,17 +170,27 @@ class Switch(Device):
         """
         self.audit = auditor
         if auditor is None:
-            self._set_base_receive(self._receive_fast)
+            self._set_base_receive(
+                self._receive_fast if self._default_policy
+                else self._receive_policy_fast
+            )
             self.poll = self._poll_fast
         else:
-            self._set_base_receive(self._receive_audited)
+            self._set_base_receive(
+                self._receive_audited if self._default_policy
+                else self._receive_policy_audited
+            )
             self.poll = self._poll_audited
 
     # -- data path ---------------------------------------------------------------
     #
     # _receive_fast/_receive_audited (and _poll_fast/_poll_audited) are
     # the same pipeline; the audited variants add the auditor hook
-    # calls. Keep the pairs in sync when changing admission logic.
+    # calls. Keep the pairs in sync when changing admission logic —
+    # and keep _receive_policy_fast/_receive_policy_audited (the
+    # generic AdmissionPolicy dispatch) semantically identical: with
+    # the default ChoudhuryHahne policy all four must produce the same
+    # fingerprints (pinned by tests/test_policy.py).
 
     def _receive_fast(self, packet: Packet, in_port: Port) -> None:
         # Fib.lookup, open-coded for the single-path common case.
@@ -204,8 +257,8 @@ class Switch(Device):
         if occupancy > queue.max_occupancy:
             queue.max_occupancy = occupancy
 
-        # 3. ECN marking on the instantaneous queue length.
-        ecn = self.config.ecn
+        # 3. ECN marking on the instantaneous (post-enqueue) queue length.
+        ecn = self.ecn
         if ecn is not None and packet.ecn_capable and not packet.ce:
             # StepEcn.should_mark, open-coded for the common scheme.
             if (
@@ -290,8 +343,8 @@ class Switch(Device):
             queue.max_occupancy = occupancy
         self.audit.on_enqueue(self, packet, egress_no)
 
-        # 3. ECN marking on the instantaneous queue length.
-        ecn = self.config.ecn
+        # 3. ECN marking on the instantaneous (post-enqueue) queue length.
+        ecn = self.ecn
         if ecn is not None and packet.ecn_capable and not packet.ce:
             # StepEcn.should_mark, open-coded for the common scheme.
             if (
@@ -299,6 +352,125 @@ class Switch(Device):
                 if type(ecn) is StepEcn
                 else ecn.should_mark(occupancy)
             ):
+                packet.ce = True
+                self.stats.ecn_marks += 1
+
+        # 4. PFC ingress accounting.
+        if self.pfc is not None:
+            self.pfc.on_admit(in_port.port_no, size)
+
+        port = self.ports[egress_no]
+        if not port.busy and not port.paused:
+            port.kick()
+
+    # _receive_policy_fast/_receive_policy_audited: the same admission
+    # pipeline routed through an explicit AdmissionPolicy (bound when
+    # ``SwitchConfig.admission`` is set). Enqueue accounting goes
+    # through the canonical SharedBuffer.reserve / EgressQueue.push —
+    # the parity tests hold these and the open-coded variants above to
+    # identical counters and identical ECN boundary semantics
+    # (post-enqueue occupancy, mark strictly above K).
+
+    def _receive_policy_fast(self, packet: Packet, in_port: Port) -> None:
+        fib = self.fib
+        routes = fib._routes[packet.dst]
+        egress_no = (
+            routes[0] if len(routes) == 1 else fib.lookup(packet.dst, packet.flow_id)
+        )
+        port_queues = self._port_queues[egress_no]
+        nclasses = len(port_queues)
+        if nclasses == 1:
+            tclass = 0
+            queue = port_queues[0]
+        else:
+            tclass = packet.tclass if 0 <= packet.tclass < nclasses else 0
+            queue = port_queues[tclass]
+        size = packet.size
+        policy = self.policy
+
+        # 1. Color-aware dropping of unimportant packets.
+        k = policy.color_threshold(queue)
+        if (
+            k is not None
+            and packet.color == Color.RED
+            and queue.red_bytes + size > k
+            and (self.config.color_classes is None or tclass in self.config.color_classes)
+        ):
+            self._drop(packet, "color", queue)
+            return
+
+        # 2. Policy admission (per-port occupancy across classes).
+        port_occupancy = (
+            queue.occupancy if nclasses == 1 else sum(q.occupancy for q in port_queues)
+        )
+        reason = policy.admit(queue, port_occupancy, size, self.pfc is not None)
+        if reason is not None:
+            self._drop(packet, reason, queue, port_occupancy)
+            return
+
+        self.buffer.reserve(size)
+        queue.push(packet, in_port.port_no)
+
+        # 3. ECN marking on the instantaneous (post-enqueue) queue length.
+        ecn = self.ecn
+        if ecn is not None and packet.ecn_capable and not packet.ce:
+            if ecn.should_mark(queue.occupancy):
+                packet.ce = True
+                self.stats.ecn_marks += 1
+
+        # 4. PFC ingress accounting.
+        if self.pfc is not None:
+            self.pfc.on_admit(in_port.port_no, size)
+
+        port = self.ports[egress_no]
+        if not port.busy and not port.paused:
+            port.kick()
+
+    def _receive_policy_audited(self, packet: Packet, in_port: Port) -> None:
+        fib = self.fib
+        routes = fib._routes[packet.dst]
+        egress_no = (
+            routes[0] if len(routes) == 1 else fib.lookup(packet.dst, packet.flow_id)
+        )
+        port_queues = self._port_queues[egress_no]
+        nclasses = len(port_queues)
+        if nclasses == 1:
+            tclass = 0
+            queue = port_queues[0]
+        else:
+            tclass = packet.tclass if 0 <= packet.tclass < nclasses else 0
+            queue = port_queues[tclass]
+        size = packet.size
+        policy = self.policy
+
+        # 1. Color-aware dropping of unimportant packets.
+        k = policy.color_threshold(queue)
+        if (
+            k is not None
+            and packet.color == Color.RED
+            and queue.red_bytes + size > k
+            and (self.config.color_classes is None or tclass in self.config.color_classes)
+        ):
+            self._drop(packet, "color", queue)
+            return
+
+        # 2. Policy admission (per-port occupancy across classes).
+        port_occupancy = (
+            queue.occupancy if nclasses == 1 else sum(q.occupancy for q in port_queues)
+        )
+        reason = policy.admit(queue, port_occupancy, size, self.pfc is not None)
+        if reason is not None:
+            self._drop(packet, reason, queue, port_occupancy)
+            return
+
+        self.buffer.reserve(size)
+        queue.push(packet, in_port.port_no)
+        self.audit.on_enqueue(self, packet, egress_no)
+
+        # 3. ECN marking on the instantaneous (post-enqueue) queue length.
+        ecn = self.ecn
+        if ecn is not None and packet.ecn_capable and not packet.ce:
+            if ecn.should_mark(queue.occupancy):
                 packet.ce = True
                 self.stats.ecn_marks += 1
 

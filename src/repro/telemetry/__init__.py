@@ -44,6 +44,7 @@ from repro.telemetry.samplers import (
     LinkLoadSampler,
     LinkUtilization,
     PfcStateSampler,
+    PolicySampler,
     QueueDepthSampler,
     Sampler,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "LinkUtilization",
     "MetricsRegistry",
     "PfcStateSampler",
+    "PolicySampler",
     "QueueDepthSampler",
     "Sampler",
     "Telemetry",

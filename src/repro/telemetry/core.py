@@ -33,6 +33,7 @@ from repro.telemetry.samplers import (
     FlowStateSampler,
     LinkLoadSampler,
     PfcStateSampler,
+    PolicySampler,
     QueueDepthSampler,
 )
 
@@ -56,6 +57,7 @@ class TelemetryConfig:
     pfc: bool = True
     flows: bool = True
     links: bool = True
+    policies: bool = True
 
     # Exporter toggles.
     jsonl: bool = True
@@ -194,6 +196,9 @@ class Telemetry:
         if config.links:
             self.samplers.append(LinkLoadSampler(
                 self.net, config.link_interval_ns or config.interval_ns, **common))
+        if config.policies:
+            self.samplers.append(
+                PolicySampler(self.net, config.interval_ns, **common))
         # RTO fires dump the flight recorder (rare: off the hot path).
         self.net.stats.on_rto_fire = self._on_rto_fire
         return self

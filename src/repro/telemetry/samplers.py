@@ -266,6 +266,39 @@ class FlowStateSampler(Sampler):
         self._c_sampled.inc(emitted)
 
 
+class PolicySampler(Sampler):
+    """Per-switch admission-policy state: policy name and live K.
+
+    Static for the default Choudhury–Hahne + static-K configuration,
+    but the adaptive-K controller retunes K during the run — this
+    stream is how a retuning trajectory becomes visible next to the
+    Fig-11 queue timelines.
+    """
+
+    stream = "policy"
+
+    def __init__(self, net, interval_ns: int, emit: EmitFn, registry, **kwargs):
+        self._switches = list(net.switches)
+        self._g_k = registry.gauge(
+            "tlt_policy_color_threshold_bytes",
+            "Live color threshold K of the admission policy", ("switch",),
+        )
+        super().__init__(net.engine, interval_ns, emit, **kwargs)
+
+    def sample(self) -> None:
+        for switch in self._switches:
+            policy = getattr(switch, "policy", None)
+            if policy is None:
+                continue
+            state = policy.describe()
+            row = {"switch": switch.name}
+            row.update(state)
+            self.emit(self.stream, row)
+            k = state.get("k")
+            if k is not None:
+                self._g_k.labels(switch.name).set(k)
+
+
 class LinkLoadSampler(Sampler):
     """Utilization of every connected port, from tx_bytes deltas."""
 
@@ -369,4 +402,5 @@ STREAM_FIELDS: Dict[str, Tuple[str, ...]] = {
     "pfc": ("device", "port", "paused", "asserted"),
     "flow": ("flow", "group", "inflight", "rto_armed", "cwnd", "rate_bps", "tlt"),
     "link": ("device", "port", "util"),
+    "policy": ("switch", "policy", "k"),
 }

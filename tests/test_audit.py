@@ -156,11 +156,23 @@ def test_detects_green_color_drop():
 
 
 def test_red_color_drop_is_faithful():
-    net = small_star()
+    # Red occupancy already past K: dropping more red is exactly §4.
+    net = small_star(color_threshold_bytes=500)
     auditor = _audited(net)
     switch = net.switches[0]
     auditor.on_drop(switch, _data_packet(Color.RED), switch.queues[0], "color")
     assert auditor.ring.to_list()[-1]["info"] == "color"
+
+
+def test_detects_unjustified_red_color_drop():
+    # A "color" drop whose red occupancy is still within K is a lie —
+    # and so is any color drop on a switch with coloring disabled.
+    net = small_star(color_threshold_bytes=1_000_000)
+    auditor = _audited(net)
+    switch = net.switches[0]
+    with pytest.raises(AuditError) as excinfo:
+        auditor.on_drop(switch, _data_packet(Color.RED), switch.queues[0], "color")
+    assert "unjustified color drop" in str(excinfo.value)
 
 
 def test_detects_phantom_pool_drop():

@@ -18,6 +18,17 @@ rank and per-port FIFO index — see ``repro.net.link``), which is the
 property that makes a spatially partitioned run bit-equal to the
 single-core run at any scale. Only tie-sensitive fields moved;
 durations, flow counts and loss counters were unchanged.
+
+``dcqcn_pfc`` (alone) was re-pinned a second time when the RoCE
+family's RED/ECN marking moved from one fabric-global RNG to
+per-switch name-seeded streams (``derive_seed(seed, "ecn.<switch>")``
+in ``build_network``): the old shared stream made every marking
+decision depend on global packet-arrival order across switches — the
+bug that kept dcqcn out of the shard-determinism gate — so the fix
+necessarily changes which packets get marked. ``dctcp_tlt`` and
+``hpcc_tlt`` (step marking / INT: stateless, no RNG) were reproduced
+bit-for-bit through that change, pinning that only the RED RNG
+plumbing moved.
 """
 
 import pytest
@@ -85,12 +96,14 @@ EXPECTED = {
         "queue_samples": 91,
         "queue_sample_sum": 5513871,
     },
+    # Re-pinned with the per-switch ECN RNG streams (see module
+    # docstring); previously captured with the fabric-global RNG.
     "dcqcn_pfc": {
         "duration_ns": 101937158,
-        "events": 725846,
+        "events": 725641,
         "timeouts": 0,
         "fast_retransmits": 0,
-        "ecn_marks": 526,
+        "ecn_marks": 354,
         "pause_frames": 0,
         "resume_frames": 0,
         "drops_green": 0,
@@ -101,13 +114,13 @@ EXPECTED = {
         "clocking_packets": 0,
         "flow_count": 40,
         "incomplete": 0,
-        "fct_fg_sum": 344396,
-        "fct_bg_sum": 26898297,
-        "rtt_fg_sum": 2492776,
-        "rtt_bg_sum": 2650209101,
-        "delivery_sum": 2652701877,
-        "queue_samples": 187,
-        "queue_sample_sum": 6772318,
+        "fct_fg_sum": 335906,
+        "fct_bg_sum": 25277635,
+        "rtt_fg_sum": 2438256,
+        "rtt_bg_sum": 2266898235,
+        "delivery_sum": 2269336491,
+        "queue_samples": 201,
+        "queue_sample_sum": 6553295,
     },
     "hpcc_tlt": {
         "duration_ns": 102101540,

@@ -29,6 +29,21 @@ def test_red_always_marks_above_kmax():
     assert all(ecn.should_mark(200_000) for _ in range(100))
 
 
+def test_red_boundaries_consume_no_rng_draw():
+    # Pinned boundary semantics: no-mark at exactly k_min and the
+    # force-mark at exactly k_max are deterministic — neither touches
+    # the RNG, so boundary traffic cannot shift the marking stream.
+    rng = random.Random(7)
+    ecn = RedEcn(5_000, 200_000, 0.01, rng)
+    state = rng.getstate()
+    assert not ecn.should_mark(5_000)
+    assert ecn.should_mark(200_000)
+    assert rng.getstate() == state
+    # Strictly between the thresholds a draw does happen.
+    ecn.should_mark(5_001)
+    assert rng.getstate() != state
+
+
 def test_red_probability_scales_linearly():
     ecn = RedEcn(0, 100_000, 1.0, random.Random(42))
     n = 20_000

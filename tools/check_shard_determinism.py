@@ -7,10 +7,12 @@ every fingerprint field matches the committed single-core EXPECTED
 values bit-for-bit. This is the contract of ``repro.sim.sharding``:
 ``--shards N`` is an execution strategy, not an approximation.
 
-Only configs whose transports are shardable are gated: the RoCE
-RED/ECN family shares one RNG stream across all switches (drawn in
-global packet-arrival order), which no spatial partitioning can
-replay, so ``dcqcn_pfc`` is excluded (see docs/PERFORMANCE.md).
+Every pinned transport family is gated, including the RoCE RED/ECN
+family: each switch draws its marking decisions from its own
+name-seeded RNG stream (``derive_seed(seed, "ecn.<switch>")``), so
+every shard replica derives identical streams and only the owning
+shard consumes them — the fabric-global RNG that once excluded
+``dcqcn_pfc`` from this gate is gone.
 
 Usage::
 
@@ -34,7 +36,7 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 sys.path.insert(0, os.path.join(REPO, "tests"))
 
 #: EXPECTED configs that the sharded executor reproduces bit-for-bit.
-SHARDABLE = ("dctcp_tlt", "hpcc_tlt")
+SHARDABLE = ("dctcp_tlt", "dcqcn_pfc", "hpcc_tlt")
 
 
 def main(argv=None) -> int:
