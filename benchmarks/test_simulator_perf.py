@@ -10,7 +10,7 @@ Each test records its engine-event count via ``record_events`` so
 """
 
 from repro.net.topology import TopologyParams, star
-from repro.sim.engine import Engine
+from repro.sim.backend import create_engine
 from repro.switchsim.switch import SwitchConfig
 from repro.transport.base import FlowSpec, TransportConfig
 from repro.transport.registry import create_flow
@@ -28,7 +28,7 @@ def _star(num_hosts=4, **switch_kwargs):
 
 def test_engine_event_throughput(benchmark, record_events):
     def run_events():
-        engine = Engine()
+        engine = create_engine()
 
         def chain(n):
             if n:
@@ -84,7 +84,7 @@ def test_timer_churn_throughput(benchmark, record_events):
     re-arm left a dead entry in the heap."""
 
     def run_churn():
-        engine = Engine()
+        engine = create_engine()
         state = {"timer": None, "fired": 0}
 
         def on_timeout():

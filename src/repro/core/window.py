@@ -29,7 +29,7 @@ from enum import Enum
 from typing import Optional
 
 from repro.core.config import ClockingPolicy, TltConfig
-from repro.core.marks import apply_acl
+from repro.core.marks import _GREEN_MARKS, apply_acl
 from repro.net.packet import Color, Packet, TltMark
 from repro.stats.collector import NetStats
 from repro.transport.base import ByteStreamReceiver, ByteStreamSender
@@ -64,8 +64,16 @@ class TltWindowSender:
         if self.state is _SendState.IMPORTANT and last_allowed:
             packet.mark = TltMark.IMPORTANT_DATA
             self.state = _SendState.IDLE
-        apply_acl(packet)
-        self._count(packet)
+        # apply_acl + _count, inlined: once per data transmission.
+        stats = self.stats
+        if packet.mark in _GREEN_MARKS:
+            packet.color = Color.GREEN
+            stats.green_data_packets += 1
+            stats.green_data_bytes += packet.payload
+        else:
+            packet.color = Color.RED
+            stats.red_data_packets += 1
+            stats.red_data_bytes += packet.payload
 
     def mark_clock_data(self, packet: Packet) -> None:
         """Mark an important-ACK-clocking packet."""

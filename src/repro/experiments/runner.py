@@ -122,12 +122,18 @@ def _run_one(name: str, args) -> None:
 
 def _bench_report(names: List[str], args) -> int:
     """Time every experiment; write wall time + events/sec as JSON."""
+    from repro.sim import backend as backend_mod
+
+    # Resolve once: the whole report runs under one backend, and the
+    # regression gate keys its baseline on this name.
+    active_backend = backend_mod.current_backend()
     report = {
         "schema": 1,
         "scale": args.scale,
         "jobs": parallel.get_context().jobs,
         "python": platform.python_version(),
         "version": __version__,
+        "backend": active_backend,
         "experiments": {},
     }
     total_wall = 0.0
@@ -147,9 +153,10 @@ def _bench_report(names: List[str], args) -> int:
             "runs": snap["runs"],
             "cached_runs": snap["cached_runs"],
             "events_per_sec": round(rate) if rate else None,
+            "backend": active_backend,
         }
         shown = f"{round(rate):,} events/s" if rate else "cached/no sim"
-        print(f"{name:16s} {wall_s:8.1f}s  {shown}")
+        print(f"{name:16s} {active_backend:9s} {wall_s:8.1f}s  {shown}")
     report["total_wall_s"] = round(total_wall, 3)
     path = write_json(report, args.out or f"BENCH_{args.scale}.json")
     print(f"wrote {path}")

@@ -6,19 +6,37 @@ serializes each packet at the link rate, then delivers it to the peer
 device after the propagation delay (store-and-forward).
 
 Delivery dispatches *through the receiving device at delivery time*:
-the scheduled callback is the receiving port's :meth:`Port._deliver`
-trampoline, which resolves ``owner.receive`` when the packet lands.
-An interceptor (or audit rebinding) installed while a packet is on the
-wire therefore still sees it — capturing the bound receive method at
-schedule time would silently bypass anything installed mid-flight.
-Heap entries stay bare 4-tuples (the raw-tuple fast path of
-``Engine.schedule_anon``); the trampoline itself is bound once per
-link at :func:`connect` time.
+``owner.receive`` is resolved when the packet lands, so an interceptor
+(or audit rebinding) installed while a packet is on the wire still sees
+it — capturing the bound receive method at schedule time would silently
+bypass anything installed mid-flight. Heap entries stay bare 4-tuples
+(the raw-tuple fast path of ``Engine.schedule_anon``).
+
+Batched delivery (default): frames a port puts on the wire are queued
+in a per-port in-flight FIFO ``(arrival_ns, wire_seq, kind, payload)``
+and the engine heap holds *at most one* entry per port — keyed by the
+FIFO head's ``(arrival_ns, wire_seq)`` — whose callback
+(:meth:`Port._drain`) delivers the whole same-nanosecond due-burst in
+one call instead of one heap transaction per frame. Because each
+port's wire sequence numbers are contiguous and its arrival times are
+monotone (serialization orders emissions; the propagation delay is
+constant), no foreign heap key can sort strictly between two
+consecutive in-flight entries of one port, and the per-port
+``WIRE_SEQ_BASE`` bands are disjoint — so the burst pops in exactly
+the ``(time, wire_seq)`` order the unbatched path would have used
+(property-tested in ``tests/test_link_batching.py``). The invariant is
+*deque non-empty ⇔ drain entry armed*: emitters arm the head when they
+append to an empty deque, and the drain re-arms the next head *before*
+dispatching, so re-entrant emissions during dispatch observe a covered
+deque. Set ``TLT_LINK_BATCH=0`` (or :func:`set_batching`) to fall back
+to the historical one-heap-entry-per-frame path; both paths are
+fingerprint-identical.
 
 PFC PAUSE/RESUME frames are delivered out-of-band: they are tiny, are
 sent at the highest priority on real hardware, and modeling them as
 instantaneously serialized control messages (propagation delay only) is
-the standard simulator simplification.
+the standard simulator simplification. They ride the same in-flight
+FIFO (kind 1), preserving their wire-sequence order against data.
 
 Fault injection can take a link administratively *down*
 (:meth:`Port.set_link_state`): a down port stops starting new
@@ -29,6 +47,8 @@ which is where a cut fiber actually loses them.
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from heapq import heappush
@@ -39,6 +59,27 @@ from repro.sim.units import tx_time_ns
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Device
     from repro.net.packet import Packet
+
+#: In-flight FIFO entry kinds (mirrors repro.sim.sharding MSG_*).
+FRAME_PACKET = 0
+FRAME_PAUSE = 1
+
+#: Shared empty args tuple for drain heap entries.
+_EMPTY: tuple = ()
+
+_BATCH = os.environ.get("TLT_LINK_BATCH", "1") != "0"
+
+
+def set_batching(enabled: bool) -> None:
+    """Select batched (default) or legacy per-frame delivery for ports
+    constructed *after* this call. Used by tests and benchmarks to A/B
+    the two paths; both are fingerprint-identical."""
+    global _BATCH
+    _BATCH = bool(enabled)
+
+
+def batching_enabled() -> bool:
+    return _BATCH
 
 
 class Port:
@@ -64,6 +105,11 @@ class Port:
         "wire_seq",
         "cut_id",
         "shard_out",
+        "_inflight",
+        "_tx_cb",
+        "_drain_cb",
+        "_batched",
+        "_equeue",
     )
 
     def __init__(self, engine: Engine, owner: "Device", port_no: int, rate_bps: int, delay_ns: int):
@@ -83,8 +129,9 @@ class Port:
         self.paused_ns = 0
         self._pause_started = 0
         self._pause_timer = None
-        # Bound `peer._deliver`, cached at connect() time so the inner
-        # loop schedules delivery with one attribute load.
+        # Bound `peer._deliver`, cached at connect() time. The batched
+        # path resolves the peer inline instead, but sharding and the
+        # legacy path still schedule through this trampoline.
         self._peer_deliver = None
         # Next heap key for frames this port puts on the wire:
         # WIRE_SEQ_BASE + (construction rank << 33) + frames emitted.
@@ -101,6 +148,24 @@ class Port:
         # object layout). -1 / None on every port of an unsharded run.
         self.cut_id = -1
         self.shard_out = None
+        # Batched delivery state: frames on the wire toward the peer,
+        # as (arrival_ns, wire_seq, kind, payload). Invariant: the
+        # engine heap holds a (head_arrival, head_seq, self._drain_cb,
+        # ()) entry iff this deque is non-empty.
+        self._inflight: deque = deque()
+        self._drain_cb = self._drain
+        # The serialization-complete callback kick() pushes. A slot —
+        # not a per-call method resolution — so the compiled backend
+        # can substitute a C kernel per port; repro.sim.sharding
+        # rebinds it after retargeting a port to CutPort.
+        batched = _BATCH
+        self._batched = batched
+        self._tx_cb = self._tx_done if batched else self._tx_done_direct
+        # The engine's heap list, cached: both engines bind it once at
+        # construction and compact it in place (the run loop aliases it
+        # the same way), so the list object is stable for the lifetime
+        # of the engine.
+        self._equeue = engine._queue
 
     # -- transmission ----------------------------------------------------------
 
@@ -123,20 +188,22 @@ class Port:
         seq = engine._seq
         engine._seq = seq + 1
         heappush(
-            engine._queue,
-            (engine.now + tx_time_ns(packet.size, self.rate_bps), seq, self._tx_done, (packet,)),
+            self._equeue,
+            (engine.now + tx_time_ns(packet.size, self.rate_bps), seq, self._tx_cb, (packet,)),
         )
 
     def _tx_done(self, packet: "Packet") -> None:
+        """Serialization finished: put the frame on the wire (batched)."""
         engine = self.engine
-        deliver = self._peer_deliver
-        if deliver is not None:
+        queue = self._equeue
+        if self._peer_deliver is not None:
             seq = self.wire_seq
             self.wire_seq = seq + 1
-            heappush(
-                engine._queue,
-                (engine.now + self.delay_ns, seq, deliver, (packet,)),
-            )
+            arrival = engine.now + self.delay_ns
+            inflight = self._inflight
+            if not inflight:
+                heappush(queue, (arrival, seq, self._drain_cb, _EMPTY))
+            inflight.append((arrival, seq, FRAME_PACKET, packet))
         self.busy = False
         # Inlined kick() — this runs once per transmitted packet.
         if self.paused or self.down:
@@ -150,17 +217,90 @@ class Port:
         seq = engine._seq
         engine._seq = seq + 1
         heappush(
-            engine._queue,
-            (engine.now + tx_time_ns(packet.size, self.rate_bps), seq, self._tx_done, (packet,)),
+            queue,
+            (engine.now + tx_time_ns(packet.size, self.rate_bps), seq, self._tx_cb, (packet,)),
+        )
+
+    def _drain(self) -> None:
+        """Deliver this port's due in-flight burst (the armed callback).
+
+        Fires at the FIFO head's exact ``(arrival_ns, wire_seq)`` heap
+        key. Every frame whose arrival equals the current instant is
+        delivered in FIFO (= wire-sequence) order; the next head, if
+        any, is re-armed *before* dispatch so the deque is never
+        observably uncovered by re-entrant emissions.
+        """
+        inflight = self._inflight
+        arrival, _seq, kind, payload = inflight.popleft()
+        if inflight:
+            nxt = inflight[0]
+            if nxt[0] == arrival:
+                # Same-ns burst (rare: serialization separates frames;
+                # only PFC frames can share an arrival ns with data).
+                engine = self.engine
+                due = [(kind, payload)]
+                while inflight and inflight[0][0] == arrival:
+                    entry = inflight.popleft()
+                    due.append((entry[2], entry[3]))
+                if inflight:
+                    nxt = inflight[0]
+                    heappush(self._equeue, (nxt[0], nxt[1], self._drain_cb, _EMPTY))
+                # Each frame is logically one delivery event; keep
+                # events_processed identical to the unbatched path.
+                engine._events_processed += len(due) - 1
+                peer = self.peer
+                for kind, payload in due:
+                    if kind == FRAME_PACKET:
+                        peer.owner.receive(payload, peer)
+                    else:
+                        peer.owner.receive_pause(payload, peer)
+                return
+            heappush(self._equeue, (nxt[0], nxt[1], self._drain_cb, _EMPTY))
+        peer = self.peer
+        if kind == FRAME_PACKET:
+            # Resolved here, at delivery time, so the packet traverses
+            # whatever interceptor chain / data-path variant is
+            # installed when it lands (see module docstring).
+            peer.owner.receive(payload, peer)
+        else:
+            peer.owner.receive_pause(payload, peer)
+
+    def _tx_done_direct(self, packet: "Packet") -> None:
+        """Legacy per-frame delivery (``TLT_LINK_BATCH=0``): one heap
+        entry per frame, scheduled through the peer's trampoline."""
+        engine = self.engine
+        queue = self._equeue
+        deliver = self._peer_deliver
+        if deliver is not None:
+            seq = self.wire_seq
+            self.wire_seq = seq + 1
+            heappush(
+                queue,
+                (engine.now + self.delay_ns, seq, deliver, (packet,)),
+            )
+        self.busy = False
+        if self.paused or self.down:
+            return
+        packet = self.owner.poll(self)
+        if packet is None:
+            return
+        self.busy = True
+        self.tx_bytes += packet.size
+        self.tx_packets += 1
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(
+            queue,
+            (engine.now + tx_time_ns(packet.size, self.rate_bps), seq, self._tx_cb, (packet,)),
         )
 
     def _deliver(self, packet: "Packet") -> None:
         """Hand an arriving packet to the owning device.
 
-        This is the scheduled propagation callback (``self`` is the
-        *receiving* side's port). ``owner.receive`` is resolved here,
-        at delivery time, so the packet traverses whatever interceptor
-        chain / data-path variant is installed when it lands.
+        The legacy/sharding propagation callback (``self`` is the
+        *receiving* side's port; the batched path dispatches from
+        :meth:`_drain` on the transmitting side instead, with identical
+        delivery-time resolution of ``owner.receive``).
         """
         self.owner.receive(packet, self)
 
@@ -185,10 +325,17 @@ class Port:
         engine = self.engine
         seq = self.wire_seq
         self.wire_seq = seq + 1
-        heappush(
-            engine._queue,
-            (engine.now + self.delay_ns, seq, peer.owner.receive_pause, (duration_ns, peer)),
-        )
+        arrival = engine.now + self.delay_ns
+        if self._batched:
+            inflight = self._inflight
+            if not inflight:
+                heappush(self._equeue, (arrival, seq, self._drain_cb, _EMPTY))
+            inflight.append((arrival, seq, FRAME_PAUSE, duration_ns))
+        else:
+            heappush(
+                self._equeue,
+                (arrival, seq, peer.owner.receive_pause, (duration_ns, peer)),
+            )
 
     def apply_pause(self, duration_ns: int) -> None:
         """React to a received PAUSE frame on this (transmitting) port."""

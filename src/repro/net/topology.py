@@ -11,6 +11,7 @@ from typing import List, Optional
 
 from repro.net.link import connect
 from repro.net.node import Host
+from repro.sim.backend import create_engine, optimize_network
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.units import GBPS, MICROS
@@ -85,7 +86,9 @@ class Network:
 
 
 def _new_network(seed: int) -> Network:
-    return Network(Engine(), NetStats(seed=seed), RngRegistry(seed))
+    """Fresh network on whatever engine the active backend provides
+    (:mod:`repro.sim.backend`); pure :class:`Engine` by default."""
+    return Network(create_engine(), NetStats(seed=seed), RngRegistry(seed))
 
 
 def leaf_spine(
@@ -156,6 +159,7 @@ def leaf_spine(
             spine.fib.add_route(host.host_id, [host.host_id // hosts_per_tor])
         spine.finalize()
 
+    optimize_network(net)
     return net
 
 
@@ -177,6 +181,7 @@ def star(
         connect(hport, sport)
         switch.fib.add_route(host_id, [host_id])
     switch.finalize()
+    optimize_network(net)
     return net
 
 
@@ -215,4 +220,5 @@ def dumbbell(
             sw_right.fib.add_route(host.host_id, [host.host_id - left_hosts])
     sw_left.finalize()
     sw_right.finalize()
+    optimize_network(net)
     return net

@@ -1,0 +1,211 @@
+"""Hot-path backend selection: pure-Python vs compiled kernels.
+
+The simulator's inner loops — the engine event loop, link
+serialization/delivery, and the switch enqueue/dequeue/MMU fast path —
+exist in two implementations behind this module:
+
+``pure``
+    The reference implementation (:class:`repro.sim.engine.Engine` and
+    the Python methods of ``repro.net.link`` / ``repro.switchsim``).
+    Zero dependencies, always available, and the semantic baseline the
+    determinism fingerprints are pinned against.
+
+``compiled``
+    A hand-written CPython extension (``repro.sim._ckernel``, built by
+    ``setup.py``/``pyproject.toml``) providing a drop-in C engine and
+    per-instance C kernels bound onto switches, hosts and ports at
+    network-build time. It honors the exact same observable contract —
+    the raw ``(time, seq, fn, args)`` / ``(time, seq, Event)`` tuple
+    heap layout, the ``WIRE_SEQ_BASE`` wire ordering, the
+    events-processed count — so fingerprints are bit-identical across
+    backends (CI-gated). When the build is absent the selection falls
+    back to ``pure`` with a one-time warning.
+
+Selection: ``TLT_BACKEND=pure|compiled`` in the environment, or
+:func:`set_backend` for programmatic control (tests, shard workers —
+every shard of a run must use the coordinator's backend). The factory
+:func:`create_engine` is what ``repro.net.topology`` builds networks
+on; :func:`optimize_network` is the build-time hook that binds the
+compiled kernels (a no-op on ``pure``).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+from repro.net.link import Port
+from repro.sim.engine import Engine
+
+#: Names accepted by ``TLT_BACKEND`` / :func:`set_backend`.
+BACKENDS = ("pure", "compiled")
+
+#: Programmatic override (takes precedence over the environment).
+_forced: Optional[str] = None
+
+#: Only warn once per process about a missing compiled build.
+_warned_fallback = False
+
+_ckernel = None
+_ckernel_checked = False
+
+
+def _compiled_module():
+    """The ``_ckernel`` extension module, or ``None`` when not built."""
+    global _ckernel, _ckernel_checked
+    if not _ckernel_checked:
+        _ckernel_checked = True
+        try:
+            from repro.sim import _ckernel as module
+        except ImportError:
+            module = None
+        _ckernel = module
+    return _ckernel
+
+
+def compiled_available() -> bool:
+    """True when the compiled extension is importable."""
+    return _compiled_module() is not None
+
+
+def available_backends() -> tuple:
+    return BACKENDS if compiled_available() else ("pure",)
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Force a backend for this process (``None`` restores env selection).
+
+    Raises :class:`ValueError` for unknown names and
+    :class:`RuntimeError` when ``compiled`` is requested but the
+    extension is not built — explicit requests fail loudly; only the
+    environment-variable path falls back silently (with a warning).
+    """
+    global _forced
+    if name is None:
+        _forced = None
+        return
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+    if name == "compiled" and not compiled_available():
+        raise RuntimeError(
+            "compiled backend requested but repro.sim._ckernel is not built "
+            "(run `python setup.py build_ext --inplace` or install with the "
+            "[compiled] extra)"
+        )
+    _forced = name
+
+
+def current_backend() -> str:
+    """Resolve the active backend name (with graceful env fallback)."""
+    global _warned_fallback
+    if _forced is not None:
+        return _forced
+    requested = os.environ.get("TLT_BACKEND", "") or "pure"
+    if requested not in BACKENDS:
+        if not _warned_fallback:
+            _warned_fallback = True
+            warnings.warn(
+                f"TLT_BACKEND={requested!r} is not a known backend "
+                f"{BACKENDS}; using pure",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "pure"
+    if requested == "compiled" and not compiled_available():
+        if not _warned_fallback:
+            _warned_fallback = True
+            warnings.warn(
+                "TLT_BACKEND=compiled but repro.sim._ckernel is not built; "
+                "falling back to the pure-Python backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "pure"
+    return requested
+
+
+def create_engine():
+    """Engine factory: the single construction point for production
+    engines (``repro.net.topology._new_network`` and benchmarks)."""
+    if current_backend() == "compiled":
+        return _compiled_module().CEngine()
+    return Engine()
+
+
+#: Transport modules whose ``alloc_packet`` global gets swapped for the
+#: compiled allocator. Patched/restored at network-build time so an
+#: in-process backend switch (tests, A/B harnesses) keeps ``pure`` runs
+#: on the all-Python allocator.
+_ALLOC_MODULES = ("repro.transport.base", "repro.transport.roce")
+_alloc_patched = False
+
+
+def _bind_fast_alloc(ck) -> None:
+    global _alloc_patched
+    import importlib
+
+    for name in _ALLOC_MODULES:
+        setattr(importlib.import_module(name), "alloc_packet", ck.alloc_packet)
+    _alloc_patched = True
+
+
+def _unbind_fast_alloc() -> None:
+    global _alloc_patched
+    if not _alloc_patched:
+        return
+    import importlib
+
+    from repro.net.packet import alloc_packet
+
+    for name in _ALLOC_MODULES:
+        setattr(importlib.import_module(name), "alloc_packet", alloc_packet)
+    _alloc_patched = False
+
+
+def optimize_network(net) -> int:
+    """Bind compiled kernels onto a freshly built network.
+
+    Called at the end of every topology builder. On the ``pure``
+    backend (or for devices the compiled fast path does not cover —
+    non-default admission policies keep their Python pipeline) this
+    binds nothing. Returns the number of objects that received compiled
+    kernels (used by tests and the profiler's backend note).
+
+    Kernel binding is shadowing, not replacement: the Python methods
+    stay reachable on the class, ``Switch.set_auditor`` still swaps the
+    audited Python variants in and out, and ``repro.sim.sharding``
+    rebinds ``port._tx_cb`` after retargeting a cut port to
+    :class:`~repro.sim.sharding.CutPort` (compiled kernels are bound
+    only to exact :class:`~repro.net.link.Port` instances).
+    """
+    if current_backend() != "compiled":
+        _unbind_fast_alloc()
+        return 0
+    ck = _compiled_module()
+    _bind_fast_alloc(ck)
+    bound = 0
+    for switch in net.switches:
+        if switch._default_policy:
+            kernel = ck.SwitchKernel(switch)
+            switch._receive_fast = kernel.receive
+            switch._poll_fast = kernel.poll
+            # Rebuild the active receive/poll bindings through the
+            # normal path so the audited variants keep working.
+            switch.set_auditor(switch.audit)
+            bound += 1
+    for host in net.hosts:
+        kernel = ck.HostKernel(host)
+        host.send = kernel.send
+        host.poll = kernel.poll
+        host._sink_receive = kernel.sink
+        host._set_base_receive(kernel.sink)
+        bound += 1
+    for device in list(net.hosts) + list(net.switches):
+        for port in device.ports:
+            if type(port) is Port and port._batched:
+                kernel = ck.PortKernel(port)
+                port._tx_cb = kernel.tx_done
+                port._drain_cb = kernel.drain
+                bound += 1
+    return bound

@@ -21,6 +21,15 @@ a raw ``.pstats`` dump plus a machine-readable ``.json`` summary::
 The attribution hook costs two ``perf_counter_ns`` calls per event
 while active and *nothing* when off (the run loop binds the table once
 per ``run()`` call).
+
+The summary also records **which hot-path backend ran** (see
+:mod:`repro.sim.backend`) — a profile is meaningless without knowing
+whether the pure-Python or compiled kernels were underneath it — and
+breaks out **batched link delivery** (``Port._drain`` and friends,
+see :mod:`repro.net.link`) into its own section: one drain call
+delivers a whole same-nanosecond burst, so its share of attributed
+time is the direct cost of wire delivery, separated from transport
+callbacks.
 """
 
 from __future__ import annotations
@@ -32,7 +41,13 @@ import pstats
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.sim import backend as backend_mod
 from repro.sim import engine as engine_mod
+
+#: Attribution-table keys (qualname tails) that are link-delivery
+#: drains: the pure-Python ``Port._drain`` and any compiled kernel's
+#: ``drain`` binding that dispatches back through Python.
+_DRAIN_TAILS = ("_drain", "drain")
 
 
 def _hotspots(stats: pstats.Stats, top: int) -> List[Dict[str, Any]]:
@@ -67,6 +82,45 @@ def _callbacks(table: Dict[str, List[int]], top: int) -> List[Dict[str, Any]]:
     return rows[:top]
 
 
+def _link_delivery(table: Dict[str, List[int]]) -> Dict[str, Any]:
+    """Batched-drain attribution: the wire-delivery slice of the run.
+
+    One ``Port._drain`` call delivers every frame of a same-nanosecond
+    due-burst, so its calls count *bursts*; ``share_of_attributed``
+    is drain time over all attributed callback time.
+    """
+    drain_calls = 0
+    drain_ns = 0
+    rows = []
+    for name, (calls, total_ns) in table.items():
+        if name.rsplit(".", 1)[-1] in _DRAIN_TAILS:
+            drain_calls += calls
+            drain_ns += total_ns
+            rows.append({"callback": name, "calls": calls,
+                         "total_ms": round(total_ns / 1e6, 3)})
+    total_ns = sum(ns for _calls, ns in table.values())
+    rows.sort(key=lambda r: r["total_ms"], reverse=True)
+    return {
+        "drain_calls": drain_calls,
+        "drain_ms": round(drain_ns / 1e6, 3),
+        "share_of_attributed": round(drain_ns / total_ns, 4) if total_ns else 0.0,
+        "callbacks": rows,
+    }
+
+
+#: Per-backend explanation of what the attribution section covers —
+#: stamped into the JSON so a reader of a saved profile knows how to
+#: interpret the callback table.
+_BACKEND_NOTES = {
+    "pure": "Python run loop: per-callback attribution covers every event.",
+    "compiled": "compiled run loop (repro.sim._ckernel): callbacks are "
+                "timed at the dispatch boundary, so compiled kernel rows "
+                "(PortKernel.drain, SwitchKernel.receive, ...) are opaque "
+                "totals with no Python-level breakdown; cProfile sees only "
+                "the extension boundary.",
+}
+
+
 class Profiler:
     """Profile a block of simulator work; write pstats + JSON on exit.
 
@@ -92,6 +146,7 @@ class Profiler:
         self.pstats_path: Optional[str] = None
         self.json_path: Optional[str] = None
         self.attribution: Dict[str, List[int]] = {}
+        self.backend: Optional[str] = None
         self._profile = cProfile.Profile()
         self._wall0 = 0.0
 
@@ -99,7 +154,16 @@ class Profiler:
 
     def __enter__(self) -> "Profiler":
         self.attribution.clear()
+        # The backend is resolved *at profile time* and stamped into the
+        # summary: a saved profile is meaningless without it. Both run
+        # loops honor the attribution hook, each through its own module
+        # global — install the same table into both so a mixed process
+        # (pure tests next to a compiled scenario) attributes everything.
+        self.backend = backend_mod.current_backend()
         engine_mod.set_attribution(self.attribution)
+        ck = backend_mod._compiled_module()
+        if ck is not None:
+            ck.set_attribution(self.attribution)
         self._wall0 = time.perf_counter()
         self._profile.enable()
         return self
@@ -108,6 +172,9 @@ class Profiler:
         self._profile.disable()
         self.wall_s = time.perf_counter() - self._wall0
         engine_mod.set_attribution(None)
+        ck = backend_mod._compiled_module()
+        if ck is not None:
+            ck.set_attribution(None)
         if exc_type is None:
             self.write()
         return False
@@ -118,13 +185,20 @@ class Profiler:
         """The JSON-ready report (also what ``write`` dumps)."""
         stats = pstats.Stats(self._profile)
         events = sum(calls for calls, _ns in self.attribution.values())
+        backend = self.backend or backend_mod.current_backend()
         return {
-            "schema": 1,
+            "schema": 2,
             "tag": self.tag,
             "wall_s": round(self.wall_s, 4) if self.wall_s is not None else None,
+            "backend": {
+                "name": backend,
+                "compiled_available": backend_mod.compiled_available(),
+                "note": _BACKEND_NOTES.get(backend, ""),
+            },
             "events_attributed": events,
             "hotspots": _hotspots(stats, self.top),
             "callbacks": _callbacks(self.attribution, self.top),
+            "link_delivery": _link_delivery(self.attribution),
         }
 
     def write(self) -> None:

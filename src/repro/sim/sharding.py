@@ -221,11 +221,22 @@ class _ShardWorker:
     ``window()`` and collects ``finish()``.
     """
 
-    def __init__(self, config, num_shards: int, shard_index: int, manage_gc: bool = True):
+    def __init__(
+        self,
+        config,
+        num_shards: int,
+        shard_index: int,
+        manage_gc: bool = True,
+        backend: Optional[str] = None,
+    ):
         self.config = config
         self.num_shards = num_shards
         self.shard_index = shard_index
         self.manage_gc = manage_gc
+        # The coordinator's resolved backend: every shard must run the
+        # same engine/kernel implementation, even if the worker process
+        # inherits a different TLT_BACKEND environment.
+        self.backend = backend
         self.outbox: List[tuple] = []
         self.completions: List[Tuple[int, int]] = []
         self.artifact_events = 0
@@ -258,6 +269,10 @@ class _ShardWorker:
             raise ValueError(
                 f"sharding requires a leaf_spine topology, got {config.topology!r}"
             )
+        from repro.sim import backend as backend_mod
+
+        if self.backend is not None:
+            backend_mod.set_backend(self.backend)
         net = self.net = build_network(config)
         engine = self.engine = net.engine
         scale = config.scale
@@ -291,6 +306,10 @@ class _ShardWorker:
                 if dev_owner == mine:
                     port.shard_out = self.outbox
                     port.__class__ = CutPort
+                    # kick() pushes the _tx_cb slot (bound — possibly
+                    # to a compiled kernel — at construction); rebind
+                    # it so the outbox override actually runs.
+                    port._tx_cb = port._tx_done
 
         if config.audit_enabled:
             self.auditor = Auditor(
@@ -421,6 +440,7 @@ class _ShardWorker:
             gc.disable()
 
         return {
+            "backend": backend_mod.current_backend(),
             "route": route,
             "lookahead": lookahead,
             "end_of_traffic": end_of_traffic,
@@ -593,10 +613,10 @@ class _ShardWorker:
 # -- worker drivers --------------------------------------------------------------
 
 
-def _worker_main(conn, config, num_shards: int, shard_index: int) -> None:
+def _worker_main(conn, config, num_shards: int, shard_index: int, backend: str) -> None:
     """Shard worker process body: setup, then serve barrier commands."""
     try:
-        worker = _ShardWorker(config, num_shards, shard_index)
+        worker = _ShardWorker(config, num_shards, shard_index, backend=backend)
         conn.send(("ready", worker.setup()))
         while True:
             msg = conn.recv()
@@ -625,12 +645,12 @@ def _worker_main(conn, config, num_shards: int, shard_index: int) -> None:
 class _ProcHandle:
     """Pipe-connected shard worker process."""
 
-    def __init__(self, ctx, config, num_shards: int, shard_index: int):
+    def __init__(self, ctx, config, num_shards: int, shard_index: int, backend: str):
         self.shard_index = shard_index
         self.conn, child = ctx.Pipe()
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child, config, num_shards, shard_index),
+            args=(child, config, num_shards, shard_index, backend),
             daemon=True,
         )
         self.proc.start()
@@ -830,7 +850,10 @@ def run_scenario_sharded(config, num_shards: int):
 
     if num_shards < 2:
         raise ValueError(f"run_scenario_sharded needs >= 2 shards, got {num_shards}")
+    from repro.sim import backend as backend_mod
+
     wall_started = time.perf_counter()
+    backend_name = backend_mod.current_backend()
     inline = _use_inline()
     handles: List = []
     gc_saved = None
@@ -849,7 +872,11 @@ def run_scenario_sharded(config, num_shards: int):
     try:
         if inline:
             handles = [
-                _InlineHandle(_ShardWorker(config, num_shards, i, manage_gc=False))
+                _InlineHandle(
+                    _ShardWorker(
+                        config, num_shards, i, manage_gc=False, backend=backend_name
+                    )
+                )
                 for i in range(num_shards)
             ]
             for handle in handles:
@@ -867,7 +894,8 @@ def run_scenario_sharded(config, num_shards: int):
 
             ctx = _mp_context()
             handles = [
-                _ProcHandle(ctx, config, num_shards, i) for i in range(num_shards)
+                _ProcHandle(ctx, config, num_shards, i, backend_name)
+                for i in range(num_shards)
             ]
             metas = [handle.recv() for handle in handles]
 
@@ -877,6 +905,12 @@ def run_scenario_sharded(config, num_shards: int):
                 raise RuntimeError(
                     f"shard {i} replica diverged during setup "
                     f"(flows {other['flows']} vs {meta['flows']})"
+                )
+        for i, other in enumerate(metas):
+            if other["backend"] != backend_name:
+                raise RuntimeError(
+                    f"shard {i} selected backend {other['backend']!r}, "
+                    f"coordinator expects {backend_name!r}"
                 )
         route = meta["route"]
         lookahead = meta["lookahead"] or 1

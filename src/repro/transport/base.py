@@ -176,16 +176,36 @@ class ByteStreamReceiver:
             # FIN and anything else: teardown is fire-and-forget;
             # bookkeeping is done at rx.
             return
-        if self.tlt_rx is not None:
-            self.tlt_rx.on_data(packet)
-        self.buffer.on_data(packet.seq, packet.payload)
-        if not self.done and self.buffer.rcv_nxt >= self.spec.size:
+        tlt_rx = self.tlt_rx
+        if tlt_rx is not None:
+            tlt_rx.on_data(packet)
+        buffer = self.buffer
+        buffer.on_data(packet.seq, packet.payload)
+        spec = self.spec
+        if not self.done and buffer.rcv_nxt >= spec.size:
             self.done = True
             if self.record is not None:
                 self.record.end_rx_ns = self.engine.now
-            if self.spec.on_complete_rx is not None:
-                self.spec.on_complete_rx(self.record)
-        self._send_ack(packet)
+            if spec.on_complete_rx is not None:
+                spec.on_complete_rx(self.record)
+        # _send_ack, inlined: one ACK per delivered data packet.
+        config = self.config
+        ack = alloc_packet(
+            spec.flow_id, spec.dst, spec.src, PacketKind.ACK, 0, 0, buffer.rcv_nxt
+        )
+        ack.sack = buffer.sack_blocks() if buffer.intervals else ()
+        ack.ecn_echo = packet.ce
+        ack.ts_echo = packet.ts_sent
+        ack.tclass = config.traffic_class
+        # Pure ACKs are control packets: always important (green).
+        ack.color = Color.GREEN
+        ack.mark = TltMark.CONTROL
+        if tlt_rx is not None:
+            tlt_rx.mark_ack(ack)
+        elif config.plain_color is not None:
+            ack.color = config.plain_color
+            ack.mark = TltMark.NONE
+        self.host.send(ack)
 
     def _send_syn_ack(self, syn: Packet) -> None:
         """Reply to a SYN; idempotent for retransmitted SYNs."""
@@ -197,6 +217,8 @@ class ByteStreamReceiver:
         self.host.send(syn_ack)
 
     def _send_ack(self, data_packet: Packet) -> None:
+        """Out-of-line ACK generation (kept for subclasses and tests;
+        the DATA path in :meth:`on_packet` inlines this)."""
         spec = self.spec
         buffer = self.buffer
         ack = alloc_packet(
@@ -352,6 +374,9 @@ class ByteStreamSender:
             return 0
         sent = 0
         lost_queue = self.lost_queue
+        cwnd = self.cwnd  # constant across the burst (_transmit never adjusts it)
+        mss = self.mss
+        spec_size = self.spec.size
         while True:
             # Retransmissions first (same policy as _next_candidate).
             seg = None
@@ -363,15 +388,15 @@ class ByteStreamSender:
                 seg = head
                 break
             if seg is not None:
-                if self.pipe + seg.size > self.cwnd:
+                if self.pipe + seg.size > cwnd:
                     break
                 lost_queue.popleft()
             else:
-                remaining = self.spec.size - self.snd_nxt
+                remaining = spec_size - self.snd_nxt
                 if remaining <= 0:
                     break
-                size = self.mss if self.mss < remaining else remaining
-                if self.pipe + size > self.cwnd:
+                size = mss if mss < remaining else remaining
+                if self.pipe + size > cwnd:
                     break
                 seg = Segment(self.snd_nxt, self.snd_nxt + size)
                 self.segments.append(seg)
@@ -383,11 +408,12 @@ class ByteStreamSender:
     def _transmit(self, seg: Segment, clock_mark: bool = False) -> None:
         now = self.engine.now
         size = seg.size
+        record = self.record
         is_retx = seg.first_tx_ns >= 0
         if is_retx:
             seg.retx_count += 1
             seg.lost = False
-            self.record.retx_bytes += size
+            record.retx_bytes += size
             self._retx_inflight[seg] = None
         else:
             seg.first_tx_ns = now
@@ -405,7 +431,7 @@ class ByteStreamSender:
         packet.ts_sent = now
         packet.tclass = config.traffic_class
         packet.is_retx = is_retx
-        self.record.tx_bytes += size
+        record.tx_bytes += size
 
         tlt = self.tlt
         if tlt is not None:
@@ -451,39 +477,44 @@ class ByteStreamSender:
             if kind == PacketKind.SYN_ACK:
                 self._on_syn_ack(packet)
             return
-        if self.tlt is not None and not self.tlt.on_ack(packet):
+        tlt = self.tlt
+        if tlt is not None and not tlt.on_ack(packet):
             return  # Important Clock Echo suppressed below snd_una
         now = self.engine.now
 
         # Timestamp-based RTT sample (Karn-safe: echo carries the actual
         # transmission time of the packet that triggered this ACK).
-        if packet.ts_echo > 0:
-            rtt = now - packet.ts_echo
+        ts_echo = packet.ts_echo
+        if ts_echo > 0:
+            rtt = now - ts_echo
             self.rto.on_rtt_sample(rtt)
             self.stats.add_rtt_sample(rtt, self.spec.group)
 
         newly_acked = 0
-        if packet.ack > self.snd_una:
-            newly_acked = packet.ack - self.snd_una
-            self.snd_una = packet.ack
+        ack = packet.ack
+        snd_una = self.snd_una
+        if ack > snd_una:
+            newly_acked = ack - snd_una
+            self.snd_una = ack
             self.dupacks = 0
             self._probe_outstanding = False
-            self._advance_head(packet.ack)
-            if self.in_recovery and self.snd_una >= self.recover_point:
+            self._advance_head(ack)
+            if self.in_recovery and ack >= self.recover_point:
                 self.in_recovery = False
             self._restart_rto()
-        elif packet.ack == self.snd_una and self.snd_una < self.snd_nxt:
+        elif ack == snd_una and snd_una < self.snd_nxt:
             self.dupacks += 1
 
         sacked_bytes = self._apply_sack(packet.sack)
 
-        if self.tlt is not None:
+        if tlt is not None:
             # Echo-based loss detection runs once the ACK/SACK state is
             # current, so freshly acknowledged segments are not marked.
-            self.tlt.on_ack_post(packet)
+            tlt.on_ack_post(packet)
 
+        config = self.config
         # ECN echo processing (DCTCP overrides).
-        if packet.ecn_echo and self.config.ecn:
+        if packet.ecn_echo and config.ecn:
             self.cc_on_ecn_echo(newly_acked)
         self.cc_after_ack(newly_acked)
 
@@ -492,7 +523,7 @@ class ByteStreamSender:
 
         # Loss detection: dup-ACK threshold (1 = early retransmit) or
         # SACK holes below the highest SACKed sequence.
-        if self.dupacks >= self.config.dupack_threshold or sacked_bytes:
+        if self.dupacks >= config.dupack_threshold or sacked_bytes:
             self._detect_losses()
 
         if self.snd_una >= self.spec.size:
@@ -500,25 +531,33 @@ class ByteStreamSender:
             return
 
         self.try_send()
-        if self.tlt is not None:
-            self.tlt.after_ack()
+        if tlt is not None:
+            tlt.after_ack()
 
     def _advance_head(self, ack: int) -> None:
         segs = self.segments
         idx = self._head
+        n = len(segs)
         now = self.engine.now
-        while idx < len(segs) and segs[idx].end <= ack:
+        pipe_drop = 0
+        retx_pop = self._retx_inflight.pop
+        add_sample = self.stats.add_delivery_sample
+        while idx < n:
             seg = segs[idx]
+            if seg.end > ack:
+                break
             if seg.in_pipe:
                 seg.in_pipe = False
-                self.pipe -= seg.size
+                pipe_drop += seg.size
             if not seg.delivered:
                 seg.delivered = True
-                self.stats.add_delivery_sample(now - seg.first_tx_ns)
+                add_sample(now - seg.first_tx_ns)
             seg.acked = True
             seg.lost = False
-            self._retx_inflight.pop(seg, None)
+            retx_pop(seg, None)
             idx += 1
+        if pipe_drop:
+            self.pipe -= pipe_drop
         self._head = idx
         if self._scan_hint < idx:
             self._scan_hint = idx
@@ -532,11 +571,17 @@ class ByteStreamSender:
         now = self.engine.now
         segs = self.segments
         mss = self.mss
+        head = self._head
         n = len(segs)
+        pipe_drop = 0
+        retx_pop = self._retx_inflight.pop
+        add_sample = self.stats.add_delivery_sample
         for lo, hi in blocks:
             if hi > self._highest_sacked:
                 self._highest_sacked = hi
-            idx = max(lo // mss, self._head)
+            idx = lo // mss
+            if idx < head:
+                idx = head
             while idx < n:
                 seg = segs[idx]
                 if seg.start >= hi:
@@ -546,13 +591,15 @@ class ByteStreamSender:
                     seg.lost = False
                     if seg.in_pipe:
                         seg.in_pipe = False
-                        self.pipe -= seg.size
+                        pipe_drop += seg.size
                     if not seg.delivered:
                         seg.delivered = True
-                        self.stats.add_delivery_sample(now - seg.first_tx_ns)
-                    self._retx_inflight.pop(seg, None)
+                        add_sample(now - seg.first_tx_ns)
+                    retx_pop(seg, None)
                     newly += seg.size
                 idx += 1
+        if pipe_drop:
+            self.pipe -= pipe_drop
         return newly
 
     def _outstanding(self):

@@ -44,13 +44,19 @@ class RtoEstimator:
         """Feed one RTT measurement (Karn-safe samples only)."""
         if rtt_ns <= 0:
             rtt_ns = 1
-        if self.srtt == 0:
+        srtt = self.srtt
+        if srtt == 0:
             self.srtt = rtt_ns
             self.rttvar = rtt_ns // 2
         else:
-            delta = abs(self.srtt - rtt_ns)
-            self.rttvar += _div_rtz(delta - self.rttvar, 4)
-            self.srtt += _div_rtz(rtt_ns - self.srtt, 8)
+            # _div_rtz, open-coded: this runs once per ACK-borne sample.
+            delta = srtt - rtt_ns
+            if delta < 0:
+                delta = -delta
+            d = delta - self.rttvar
+            self.rttvar += d // 4 if d >= 0 else -(-d // 4)
+            d = rtt_ns - srtt
+            self.srtt += d // 8 if d >= 0 else -(-d // 8)
         self.backoff_count = 0
 
     @property

@@ -19,14 +19,15 @@ def write(path, payload):
     return str(path)
 
 
-def pytest_benchmark_doc(rates):
+def pytest_benchmark_doc(rates, backend=None):
     # The fastest round (min) defines the rate; the mean is slower, as
     # on a real noisy runner.
+    extra = {} if backend is None else {"backend": backend}
     return {
         "benchmarks": [
             {"name": name,
              "stats": {"min": events / rate, "mean": 1.2 * events / rate},
-             "extra_info": {"events": events}}
+             "extra_info": {"events": events, **extra}}
             for name, (events, rate) in rates.items()
         ]
     }
@@ -121,8 +122,10 @@ def test_update_writes_normalized_baseline(tmp_path):
     assert tool.main([current, str(baseline), "--update"]) == 0
     saved = json.loads(baseline.read_text())
     assert saved["schema"] == tool.BASELINE_SCHEMA
-    assert saved["benchmarks"]["a"]["events_per_sec"] == pytest.approx(50_000.0)
-    # Round-trips through load_rates and passes against itself.
+    # A run without backend annotation records under "pure".
+    entry = saved["backends"]["pure"]["benchmarks"]["a"]
+    assert entry["events_per_sec"] == pytest.approx(50_000.0)
+    # Round-trips through load_baseline and passes against itself.
     assert tool.main([current, str(baseline)]) == 0
 
 
@@ -130,3 +133,117 @@ def test_empty_current_run_errors(tmp_path):
     current = write(tmp_path / "run.json", {"benchmarks": []})
     baseline = write(tmp_path / "base.json", {"benchmarks": {}})
     assert tool.main([current, baseline]) == 2
+
+
+# -- per-backend baselines ---------------------------------------------------
+
+
+def test_run_backend_autodetected_from_extra_info(tmp_path):
+    path = write(tmp_path / "run.json",
+                 pytest_benchmark_doc({"a": (1000, 50_000.0)},
+                                      backend="compiled"))
+    rates, backend = tool.load_run(path)
+    assert backend == "compiled"
+    assert rates == {"a": pytest.approx(50_000.0)}
+
+
+def test_run_backend_autodetected_from_bench_report(tmp_path):
+    path = write(tmp_path / "BENCH_tiny.json", {
+        "backend": "compiled",
+        "experiments": {"fig05": {"wall_s": 1.0, "events_per_sec": 10_000}},
+    })
+    assert tool.load_run(path) == ({"fig05": 10_000.0}, "compiled")
+
+
+def test_compiled_run_gated_against_compiled_entry(tmp_path, capsys):
+    # The compiled numbers are several times pure's: the gate must pick
+    # the right table or a healthy compiled run would look like a 3x
+    # regression (or a pure run like a free 3x win).
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"a": (1000, 290_000.0)},
+                                         backend="compiled"))
+    baseline = write(tmp_path / "base.json", {
+        "schema": 2,
+        "backends": {
+            "pure": {"benchmarks": {"a": {"events_per_sec": 100_000.0}}},
+            "compiled": {"benchmarks": {"a": {"events_per_sec": 300_000.0}}},
+        },
+    })
+    assert tool.main([current, baseline, "--threshold", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "backend: compiled" in out
+    assert "gate passed" in out
+
+
+def test_known_backend_missing_from_baseline_hard_errors(tmp_path, capsys):
+    # A legacy flat baseline only covers pure; gating a compiled run
+    # against it must be a hard error, not a silent pass (or a spurious
+    # comparison against pure's numbers).
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"a": (1000, 300_000.0)},
+                                         backend="compiled"))
+    baseline = write(tmp_path / "base.json",
+                     {"benchmarks": {"a": {"events_per_sec": 100_000.0}}})
+    assert tool.main([current, baseline]) == 2
+    assert "no entry for backend 'compiled'" in capsys.readouterr().err
+
+
+def test_unknown_backend_is_reported_but_not_gated(tmp_path, capsys):
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"a": (1000, 5.0)},
+                                         backend="experimental"))
+    baseline = write(tmp_path / "base.json",
+                     {"benchmarks": {"a": {"events_per_sec": 100_000.0}}})
+    assert tool.main([current, baseline]) == 0
+    assert "not gated" in capsys.readouterr().out
+
+
+def test_backend_flag_overrides_detection(tmp_path, capsys):
+    current = write(tmp_path / "run.json",
+                    pytest_benchmark_doc({"a": (1000, 100_000.0)}))
+    baseline = write(tmp_path / "base.json", {
+        "schema": 2,
+        "backends": {
+            "compiled": {"benchmarks": {"a": {"events_per_sec": 100_000.0}}},
+        },
+    })
+    # Auto-detection says pure (no annotation) -> hard error ...
+    assert tool.main([current, baseline]) == 2
+    # ... but --backend compiled selects the recorded table.
+    assert tool.main([current, baseline, "--backend", "compiled"]) == 0
+
+
+def test_update_preserves_other_backends(tmp_path):
+    baseline = tmp_path / "base.json"
+    pure = write(tmp_path / "pure.json",
+                 pytest_benchmark_doc({"a": (1000, 100_000.0)}, backend="pure"))
+    compiled = write(tmp_path / "compiled.json",
+                     pytest_benchmark_doc({"a": (1000, 300_000.0)},
+                                          backend="compiled"))
+    assert tool.main([pure, str(baseline), "--update"]) == 0
+    assert tool.main([compiled, str(baseline), "--update"]) == 0
+    saved = json.loads(baseline.read_text())
+    assert saved["backends"]["pure"]["benchmarks"]["a"]["events_per_sec"] == \
+        pytest.approx(100_000.0)
+    assert saved["backends"]["compiled"]["benchmarks"]["a"]["events_per_sec"] == \
+        pytest.approx(300_000.0)
+    # Both runs still pass against the merged baseline.
+    assert tool.main([pure, str(baseline)]) == 0
+    assert tool.main([compiled, str(baseline)]) == 0
+
+
+def test_update_migrates_legacy_flat_baseline(tmp_path):
+    # Recording compiled numbers into a schema-1 file must not discard
+    # the flat table: it becomes the pure entry.
+    baseline = tmp_path / "base.json"
+    write(baseline, {"schema": 1, "source": "old.json",
+                     "benchmarks": {"a": {"events_per_sec": 100_000.0}}})
+    compiled = write(tmp_path / "compiled.json",
+                     pytest_benchmark_doc({"a": (1000, 300_000.0)},
+                                          backend="compiled"))
+    assert tool.main([compiled, str(baseline), "--update"]) == 0
+    saved = json.loads(baseline.read_text())
+    assert saved["backends"]["pure"]["benchmarks"]["a"]["events_per_sec"] == \
+        pytest.approx(100_000.0)
+    assert saved["backends"]["compiled"]["benchmarks"]["a"]["events_per_sec"] == \
+        pytest.approx(300_000.0)

@@ -38,7 +38,7 @@ def test_profiler_writes_pstats_and_json(tmp_path):
 
     with open(prof.json_path) as fh:
         summary = json.load(fh)
-    assert summary["schema"] == 1
+    assert summary["schema"] == 2
     assert summary["tag"] == "unit"
     assert summary["wall_s"] > 0
     assert summary["events_attributed"] == 500
@@ -80,3 +80,50 @@ def test_summary_available_without_write(tmp_path):
     summary = prof.summary()
     assert len(summary["hotspots"]) <= 5
     assert summary["events_attributed"] == 500
+
+
+def test_summary_reports_backend(tmp_path):
+    # A saved profile must say which hot-path backend produced it.
+    from repro.sim import backend as backend_mod
+
+    prof = Profiler(tag="backend", out_dir=str(tmp_path))
+    with prof:
+        run_small_sim()
+    section = prof.summary()["backend"]
+    assert section["name"] == backend_mod.current_backend()
+    assert isinstance(section["compiled_available"], bool)
+    assert section["note"]  # every known backend has an explanation
+
+
+def test_link_delivery_attribution(tmp_path):
+    # Batched-drain time is broken out of the callback table: a run
+    # with real link traffic attributes Port._drain under link_delivery.
+    from repro.net.link import Port, connect
+
+    class _Sink:
+        def poll(self, port):
+            return None
+
+        def receive(self, packet, port):
+            pass
+
+        def receive_pause(self, duration_ns, port):
+            pass
+
+    class _Frame:
+        size = 1500
+
+    prof = Profiler(tag="drain", out_dir=str(tmp_path))
+    with prof:
+        engine = Engine()
+        a = Port(engine, _Sink(), 0, 100_000_000_000, 1_000)
+        b = Port(engine, _Sink(), 0, 100_000_000_000, 1_000)
+        connect(a, b)
+        for i in range(50):
+            engine.schedule_anon(i * 10, a._tx_cb, _Frame())
+        engine.run()
+    section = prof.summary()["link_delivery"]
+    assert section["drain_calls"] == 50
+    assert section["drain_ms"] >= 0
+    assert 0.0 <= section["share_of_attributed"] <= 1.0
+    assert any(row["callback"].endswith("_drain") for row in section["callbacks"])

@@ -5,7 +5,27 @@ Compares a benchmark run against a committed baseline and exits
 non-zero when any benchmark's throughput (events/sec) dropped by more
 than ``--threshold`` (default 25%).
 
-Accepted input formats (auto-detected):
+Baselines are **per backend**: the pure-Python and compiled hot-path
+kernels (see ``repro.sim.backend``) have wildly different absolute
+rates, so one flat baseline would either never gate the compiled
+backend or always fail the pure one. The baseline file keys rates by
+backend name::
+
+    {"schema": 2,
+     "backends": {"pure":     {"source": ..., "benchmarks": {...}},
+                  "compiled": {"source": ..., "benchmarks": {...}}}}
+
+The run's backend is auto-detected — pytest-benchmark reports carry
+``extra_info["backend"]`` (stamped by ``benchmarks/conftest.py``) and
+``bench-report`` output carries a top-level ``"backend"`` key — and can
+be overridden with ``--backend``. Runs without any backend annotation
+(legacy reports) are treated as ``pure``, as are legacy schema-1
+baselines with a flat ``"benchmarks"`` table. A *known* backend
+(pure/compiled) with no baseline entry is a hard error — a gate without
+a baseline is no gate — while an unknown/experimental backend name is
+reported ungated, like a freshly added benchmark.
+
+Accepted run formats (auto-detected):
 
 - pytest-benchmark ``--benchmark-json`` output — throughput is
   ``extra_info["events"] / stats.min`` when the benchmark recorded an
@@ -15,16 +35,19 @@ Accepted input formats (auto-detected):
   add time, so the minimum is the stablest estimate of the code's true
   cost (and what the stdlib ``timeit`` docs recommend comparing);
 - ``tlt-experiment bench-report`` output (``BENCH_*.json``);
-- the normalized baseline format this tool writes with ``--update``:
-  ``{"benchmarks": {name: {"events_per_sec": float}}, ...}``.
+- a flat normalized table ``{"benchmarks": {name: {"events_per_sec":
+  float}}}`` (the legacy schema-1 baseline format).
 
 Usage::
 
     python tools/check_bench_regression.py bench.json BENCH_baseline.json
     python tools/check_bench_regression.py bench.json BENCH_baseline.json --update
 
-Baselines are machine-dependent: refresh with ``--update`` (run on the
-reference machine / CI runner class) whenever the simulator's expected
+``--update``/``--write-baseline`` record the run under its backend's
+key and preserve every other backend's entry, so refreshing the
+compiled numbers never touches the pure ones. Baselines are
+machine-dependent: refresh with ``--update`` (run on the reference
+machine / CI runner class) whenever the simulator's expected
 performance legitimately changes.
 """
 
@@ -34,21 +57,35 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
-BASELINE_SCHEMA = 1
+BASELINE_SCHEMA = 2
+
+#: Backends the gate insists on having a baseline for. Anything else is
+#: reported ungated (same treatment as a brand-new benchmark).
+KNOWN_BACKENDS = ("pure", "compiled")
 
 
-def load_rates(path: str) -> Dict[str, float]:
-    """Normalize any supported report format to {name: events_per_sec}."""
+def _read_json(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     if not isinstance(document, dict):
         raise ValueError(f"{path}: expected a JSON object")
+    return document
 
+
+def load_run(path: str) -> Tuple[Dict[str, float], Optional[str]]:
+    """Normalize a run report to ``({name: events_per_sec}, backend)``.
+
+    ``backend`` is ``None`` when the report carries no annotation (or
+    when a pytest-benchmark report disagrees with itself).
+    """
+    document = _read_json(path)
     rates: Dict[str, float] = {}
+    backend: Optional[str] = None
     if isinstance(document.get("benchmarks"), list):
         # pytest-benchmark --benchmark-json format.
+        tags = set()
         for bench in document["benchmarks"]:
             stats = bench["stats"]
             # Fastest round: noise on a shared runner is strictly
@@ -56,35 +93,87 @@ def load_rates(path: str) -> Dict[str, float]:
             best = stats.get("min") or stats["mean"]
             if best <= 0:
                 continue
-            events = (bench.get("extra_info") or {}).get("events")
+            extra = bench.get("extra_info") or {}
+            events = extra.get("events")
             rates[bench["name"]] = (float(events) if events else 1.0) / best
+            tags.add(extra.get("backend"))
+        if len(tags) == 1:
+            backend = tags.pop()
     elif isinstance(document.get("benchmarks"), dict):
-        # Normalized baseline format (written by --update).
+        # Normalized flat table (legacy schema-1 baseline format).
         for name, entry in document["benchmarks"].items():
             rate = entry["events_per_sec"] if isinstance(entry, dict) else entry
             if rate:
                 rates[name] = float(rate)
+        backend = document.get("backend")
     elif isinstance(document.get("experiments"), dict):
         # tlt-experiment bench-report format.
         for name, entry in document["experiments"].items():
             rate = entry.get("events_per_sec")
             if rate:
                 rates[name] = float(rate)
+        backend = document.get("backend")
     else:
         raise ValueError(f"{path}: unrecognized benchmark report format")
-    return rates
+    return rates, backend
 
 
-def write_baseline(rates: Dict[str, float], path: str, source: str) -> None:
-    payload = {
-        "schema": BASELINE_SCHEMA,
+def load_rates(path: str) -> Dict[str, float]:
+    """Normalize any supported report format to {name: events_per_sec}."""
+    return load_run(path)[0]
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, float]]:
+    """Load a baseline file as ``{backend: {name: events_per_sec}}``.
+
+    Schema-2 files carry the per-backend table directly; legacy
+    schema-1 files (one flat ``"benchmarks"`` table) are interpreted as
+    pure-backend numbers — the only backend that existed when they were
+    written.
+    """
+    document = _read_json(path)
+    if isinstance(document.get("backends"), dict):
+        tables: Dict[str, Dict[str, float]] = {}
+        for backend, entry in document["backends"].items():
+            table: Dict[str, float] = {}
+            for name, value in (entry.get("benchmarks") or {}).items():
+                rate = value["events_per_sec"] if isinstance(value, dict) else value
+                if rate:
+                    table[name] = float(rate)
+            tables[backend] = table
+        return tables
+    if isinstance(document.get("benchmarks"), dict):
+        return {"pure": load_rates(path)}
+    raise ValueError(f"{path}: unrecognized baseline format")
+
+
+def write_baseline(rates: Dict[str, float], path: str, source: str,
+                   backend: str = "pure") -> None:
+    """Record ``rates`` under ``backend``, preserving other backends."""
+    backends: Dict[str, dict] = {}
+    if os.path.exists(path):
+        existing = _read_json(path)
+        if isinstance(existing.get("backends"), dict):
+            backends.update(existing["backends"])
+        elif isinstance(existing.get("benchmarks"), dict):
+            # Migrate a legacy flat baseline: its numbers were pure's.
+            backends["pure"] = {
+                "source": existing.get("source", "unknown"),
+                "benchmarks": existing["benchmarks"],
+            }
+    backends[backend] = {
         "source": os.path.basename(source),
-        "note": "events/sec per benchmark; refresh with "
-                "tools/check_bench_regression.py <run> <this file> --update",
         "benchmarks": {
             name: {"events_per_sec": round(rate, 1)}
             for name, rate in sorted(rates.items())
         },
+    }
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "note": "events/sec per benchmark, keyed by hot-path backend; "
+                "refresh one backend's numbers with "
+                "tools/check_bench_regression.py <run> <this file> --update",
+        "backends": backends,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -129,9 +218,13 @@ def main(argv=None) -> int:
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
                         help="max tolerated relative throughput drop (default 0.25)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="override the run's backend (default: auto-detect "
+                             "from the report, falling back to 'pure')")
     parser.add_argument("--update", action="store_true",
-                        help="rewrite the existing baseline from the current "
-                             "run and exit")
+                        help="rewrite this backend's entry in the baseline "
+                             "from the current run (other backends' entries "
+                             "are preserved) and exit")
     parser.add_argument("--write-baseline", action="store_true",
                         help="create the baseline from the current run when "
                              "none exists yet (refuses to overwrite; use "
@@ -142,7 +235,8 @@ def main(argv=None) -> int:
         print(f"error: benchmark run {args.current} does not exist",
               file=sys.stderr)
         return 2
-    current = load_rates(args.current)
+    current, detected = load_run(args.current)
+    backend = args.backend or detected or "pure"
     if not current:
         print(f"error: no usable benchmarks in {args.current}", file=sys.stderr)
         return 2
@@ -151,13 +245,15 @@ def main(argv=None) -> int:
             print(f"error: {args.baseline} already exists; use --update to "
                   f"refresh it", file=sys.stderr)
             return 2
-        write_baseline(current, args.baseline, source=args.current)
-        print(f"baseline created from {args.current}: "
+        write_baseline(current, args.baseline, source=args.current,
+                       backend=backend)
+        print(f"baseline created from {args.current} [{backend}]: "
               f"{len(current)} benchmarks -> {args.baseline}")
         return 0
     if args.update:
-        write_baseline(current, args.baseline, source=args.current)
-        print(f"baseline updated from {args.current}: "
+        write_baseline(current, args.baseline, source=args.current,
+                       backend=backend)
+        print(f"baseline updated from {args.current} [{backend}]: "
               f"{len(current)} benchmarks -> {args.baseline}")
         return 0
 
@@ -167,11 +263,26 @@ def main(argv=None) -> int:
         print(f"error: baseline {args.baseline} does not exist; create it "
               f"from a trusted run with --write-baseline", file=sys.stderr)
         return 2
-    baseline = load_rates(args.baseline)
+    tables = load_baseline(args.baseline)
+    if backend not in tables:
+        if backend in KNOWN_BACKENDS:
+            print(f"error: baseline {args.baseline} has no entry for backend "
+                  f"{backend!r}; record one from a trusted run with --update",
+                  file=sys.stderr)
+            return 2
+        # An experimental backend name: report, don't gate.
+        print(f"backend {backend!r} has no baseline (not gated; --update to adopt):")
+        width = max((len(n) for n in current), default=4)
+        for name in sorted(current):
+            print(f"{name.ljust(width)}  {current[name]:12.0f}  new")
+        return 0
+    baseline = tables[backend]
     if not baseline:
-        print(f"error: no usable benchmarks in baseline {args.baseline}; "
-              f"refresh it with --update", file=sys.stderr)
+        print(f"error: no usable benchmarks for backend {backend!r} in "
+              f"baseline {args.baseline}; refresh it with --update",
+              file=sys.stderr)
         return 2
+    print(f"backend: {backend}")
     failures = compare(current, baseline, args.threshold)
     if failures:
         print(f"\n{failures} benchmark(s) regressed beyond "
