@@ -110,6 +110,16 @@ class Auditor:
             flow=packet.flow_id, seq=packet.seq, size=packet.size,
             color=packet.color.name, port=egress_no,
         )
+        # Dead-egress invariant: the fault layer withdraws a down port
+        # from the FIB at link_down time and blackholes unroutable
+        # destinations, so no selector — static, flowlet or weighted —
+        # may ever steer a packet onto a down port (the overlapping-flap
+        # resurrection bug is exactly this violation).
+        if switch.ports[egress_no].down:
+            self._raise([
+                f"{switch.name}: flow {packet.flow_id} (seq {packet.seq}) "
+                f"enqueued on down port {egress_no}"
+            ])
 
     def on_dequeue(self, switch, packet, port_no: int) -> None:
         self.ring.record(

@@ -57,6 +57,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext-periodic-n": "repro.experiments.ext_periodic_n",
     "ext-corruption": "repro.experiments.ext_corruption",
     "ext-faults": "repro.experiments.ext_faults",
+    "ext-multipath": "repro.experiments.ext_multipath",
     "ext-policies": "repro.experiments.ext_policies",
     "ext-shard-scale": "repro.experiments.ext_shard_scale",
 }

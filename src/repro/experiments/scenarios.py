@@ -31,7 +31,14 @@ from repro.audit import AuditConfig, AuditError, Auditor
 from repro.core.config import TltConfig
 from repro.experiments.perf import TALLY
 from repro.faults.schedule import FaultController, FaultSchedule
-from repro.net.topology import Network, TopologyParams, dumbbell, leaf_spine, star
+from repro.net.topology import (
+    Network,
+    TopologyParams,
+    dumbbell,
+    fat_tree,
+    leaf_spine,
+    star,
+)
 from repro.sim.rng import derive_seed
 from repro.sim.units import GBPS, KB, MICROS, MILLIS
 from repro.switchsim.ecn import RedEcn, StepEcn
@@ -63,10 +70,19 @@ class ScenarioConfig:
     pfc: bool = False
 
     # Topology.
-    topology: str = "leaf_spine"  # "leaf_spine" | "star" | "dumbbell"
+    topology: str = "leaf_spine"  # "leaf_spine" | "fat_tree" | "star" | "dumbbell"
     scale: Scale = SMALL
     link_rate_bps: int = 40 * GBPS
     link_delay_ns: Optional[int] = None  # default: 10 us TCP / 1 us RoCE
+    #: Fat-tree arity (k pods, k^3/4 hosts); only used when
+    #: ``topology == "fat_tree"``.
+    fat_tree_k: int = 4
+    #: Per-spine rate factors for an asymmetric leaf-spine (see
+    #: :func:`repro.net.topology.leaf_spine`); None = symmetric.
+    spine_rate_factors: Optional[tuple] = None
+    #: Per-core rate factors for an asymmetric fat-tree (see
+    #: :func:`repro.net.topology.fat_tree`); None = symmetric.
+    core_rate_factors: Optional[tuple] = None
 
     # Switch.
     buffer_per_port: int = BUFFER_PER_PORT
@@ -79,6 +95,12 @@ class ScenarioConfig:
     #: identity, so it is folded into result-cache keys like any other
     #: field.
     admission: Optional[object] = None
+    #: Path-selection spec for every switch (``None`` = static-hash
+    #: ECMP, bit-identical to the pinned fingerprints; ``"flowlet"`` /
+    #: ``"wcmp"`` or a ``{"name": ..., params}`` dict select a
+    #: multipath selector — see :func:`repro.net.routing.make_fib`).
+    #: Part of the result identity, so it is folded into cache keys.
+    path_selection: Optional[object] = None
     ecn_k_bytes: int = 200 * KB  # DCTCP step threshold
     dcqcn_kmin: int = 5 * KB
     dcqcn_kmax: int = 200 * KB
@@ -149,8 +171,14 @@ class ScenarioConfig:
 
     @property
     def base_rtt_ns(self) -> int:
-        # Four hops each way in the leaf-spine (host-ToR-spine-ToR-host).
-        hops = 4 if self.topology == "leaf_spine" else 2
+        # Four hops each way in the leaf-spine (host-ToR-spine-ToR-host);
+        # six in the fat-tree (host-edge-agg-core-agg-edge-host).
+        if self.topology == "fat_tree":
+            hops = 6
+        elif self.topology == "leaf_spine":
+            hops = 4
+        else:
+            hops = 2
         return 2 * hops * self.resolved_link_delay_ns
 
     @property
@@ -254,17 +282,29 @@ class ScenarioResult:
             "important_fraction": stats.important_fraction_bytes(),
             "fault_drops": float(stats.drops_fault),
             "incomplete": float(stats.incomplete_flows()),
+            # Path churn across the fabric (zero for static selectors).
+            # Sharded runs carry the merged sums on the network facade;
+            # live runs sum the per-switch FIB counters directly.
+            "flowlets": float(
+                sum(sw.fib.flowlets for sw in self.net.switches)
+                if self.net.switches else getattr(self.net, "fib_flowlets", 0)
+            ),
+            "reroutes": float(
+                sum(sw.fib.reroutes for sw in self.net.switches)
+                if self.net.switches else getattr(self.net, "fib_reroutes", 0)
+            ),
         }
 
 
 def build_network(config: ScenarioConfig) -> Network:
     """Construct the network for a scenario (no traffic yet)."""
     scale = config.scale
-    ports = (
-        scale.hosts_per_tor + scale.num_spines
-        if config.topology == "leaf_spine"
-        else scale.num_hosts
-    )
+    if config.topology == "leaf_spine":
+        ports = scale.hosts_per_tor + scale.num_spines
+    elif config.topology == "fat_tree":
+        ports = config.fat_tree_k
+    else:
+        ports = scale.num_hosts
     ecn = None
     ecn_factory = None
     if config.transport == "dctcp":
@@ -295,6 +335,7 @@ def build_network(config: ScenarioConfig) -> Network:
         pfc=PfcConfig(enabled=config.pfc),
         int_enabled=(config.transport == "hpcc"),
         admission=config.admission,
+        path_selection=config.path_selection,
     )
     params = TopologyParams(
         link_rate_bps=config.link_rate_bps,
@@ -303,7 +344,15 @@ def build_network(config: ScenarioConfig) -> Network:
         switch_config=switch_config,
     )
     if config.topology == "leaf_spine":
-        return leaf_spine(scale.num_spines, scale.num_tors, scale.hosts_per_tor, params, config.seed)
+        return leaf_spine(
+            scale.num_spines, scale.num_tors, scale.hosts_per_tor, params,
+            config.seed, spine_rate_factors=config.spine_rate_factors,
+        )
+    if config.topology == "fat_tree":
+        return fat_tree(
+            config.fat_tree_k, params, config.seed,
+            core_rate_factors=config.core_rate_factors,
+        )
     if config.topology == "star":
         return star(scale.num_hosts, params, config.seed)
     if config.topology == "dumbbell":

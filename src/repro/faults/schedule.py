@@ -34,6 +34,14 @@ Failure semantics:
   arrivals on the dead port), and each switch endpoint withdraws the
   port from its FIB — ECMP re-spreads over surviving paths; destinations
   with no surviving path are blackholed until ``link_up``.
+- **link_degrade** multiplies both directions' line rate by
+  ``params["factor"]`` (default 0.5) of the link's *pristine* rate —
+  brown-out, not blackout: an auto-negotiated fallback or a flapping
+  optic running at reduced speed. Switch endpoints re-derive the
+  port's path weight from the new capacity, so weighted selectors
+  (``wcmp``, weighted ``flowlet``) shift load off the thin path while
+  static-hash keeps overloading it. ``link_restore`` heals the rate
+  (and weight) back to pristine.
 - **switch_down** is link_down on every attached link plus a drop-all
   blackhole at the switch itself (packets it still holds stay buffered
   and drain on ``switch_up``, like a rebooted ASIC's dark period).
@@ -57,6 +65,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.faults.models import FaultInjector, make_model
 from repro.net.node import Device, Interceptor
 from repro.net.packet import Packet, recycle
+from repro.net.routing import capacity_weight
 
 #: Recognized event kinds.
 FAULT_KINDS = (
@@ -64,6 +73,8 @@ FAULT_KINDS = (
     "corruption_off",
     "link_down",
     "link_up",
+    "link_degrade",
+    "link_restore",
     "switch_down",
     "switch_up",
     "pfc_storm",
@@ -244,8 +255,11 @@ class FaultController:
         self.schedule = schedule
         self.injectors: Dict[str, FaultInjector] = {}
         self.blackholes: Dict[str, BlackholeInterceptor] = {}
-        #: (device name, port_no) -> (saved routes, unroutable dsts)
-        self._withdrawn: Dict[Tuple[str, int], Tuple[Dict, Set[int]]] = {}
+        #: Open per-port withdrawal windows (re-entry guard; the FIB
+        #: itself owns the authoritative route/unroutable state).
+        self._withdrawn: Set[Tuple[str, int]] = set()
+        #: (device name, port_no) -> pristine rate_bps of degraded ports.
+        self._degraded: Dict[Tuple[str, int], int] = {}
         self.applied: List[Tuple[int, str, str]] = []
         #: Optional post-apply hook ``fn(event)`` (set by
         #: repro.telemetry.Telemetry to trigger flight-recorder dumps).
@@ -330,28 +344,30 @@ class FaultController:
         fib = getattr(owner, "fib", None)
         key = (owner.name, port.port_no)
         if fib is not None and key not in self._withdrawn:
-            saved, unroutable = fib.disable_port(port.port_no)
-            self._withdrawn[key] = (saved, unroutable)
-            if unroutable:
-                self._blackhole(owner).unroutable |= unroutable
+            self._withdrawn.add(key)
+            # The FIB composes overlapping windows internally and
+            # reports the authoritative currently-unroutable set.
+            self._blackhole(owner).unroutable = set(fib.disable_port(port.port_no))
 
     def _bring_port_up(self, port) -> None:
         owner = port.owner
-        entry = self._withdrawn.pop((owner.name, port.port_no), None)
-        if entry is not None:
-            fib = getattr(owner, "fib", None)
+        key = (owner.name, port.port_no)
+        fib = getattr(owner, "fib", None)
+        still_dark: Set[int] = set()
+        if key in self._withdrawn:
+            self._withdrawn.discard(key)
             if fib is not None:
-                fib.restore_routes(entry[0])
+                # Pristine-minus-still-down recompute: healing this port
+                # never resurrects a route through a still-down one, and
+                # a destination reachable again through the healed port
+                # leaves the blackhole immediately.
+                still_dark = fib.enable_port(port.port_no)
+        elif fib is not None:
+            still_dark = fib.unroutable()
         bh = self.blackholes.get(owner.name)
         if bh is not None:
             bh.dead_ports.discard(port)
-            # Recompute from the failures still open on this device: two
-            # overlapping cuts may blackhole the same destination.
-            still_dark: Set[int] = set()
-            for (device_name, _), (_, unroutable) in self._withdrawn.items():
-                if device_name == owner.name:
-                    still_dark |= unroutable
-            bh.unroutable = still_dark
+            bh.unroutable = set(still_dark)
             self._release_blackhole(owner)
         port.set_link_state(True)
 
@@ -366,6 +382,39 @@ class FaultController:
         self._bring_port_up(port)
         if port.peer is not None:
             self._bring_port_up(port.peer)
+
+    # -- link degradation --------------------------------------------------------
+
+    def _link_endpoints(self, port):
+        return (port, port.peer) if port.peer is not None else (port,)
+
+    def _set_port_rate(self, port, rate_bps: int) -> None:
+        port.rate_bps = rate_bps
+        owner = port.owner
+        fib = getattr(owner, "fib", None)
+        if fib is not None:
+            # Weighted selectors follow live capacity: new flowlets and
+            # WCMP hashes shift load off the thin path immediately.
+            fib.set_port_weight(port.port_no, capacity_weight(rate_bps))
+
+    def _ev_link_degrade(self, event: FaultEvent) -> None:
+        port = self._port(event.target)
+        factor = float(event.params.get("factor", 0.5))
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"link_degrade factor must be in (0, 1], got {factor}")
+        for end in self._link_endpoints(port):
+            key = (end.owner.name, end.port_no)
+            # Repeated degrades rescale from the pristine rate, not the
+            # already-degraded one, mirroring disable/enable semantics.
+            pristine = self._degraded.setdefault(key, end.rate_bps)
+            self._set_port_rate(end, max(1, int(pristine * factor)))
+
+    def _ev_link_restore(self, event: FaultEvent) -> None:
+        port = self._port(event.target)
+        for end in self._link_endpoints(port):
+            pristine = self._degraded.pop((end.owner.name, end.port_no), None)
+            if pristine is not None:
+                self._set_port_rate(end, pristine)
 
     # -- switch failure ----------------------------------------------------------
 

@@ -1,13 +1,19 @@
-"""Topology builders: leaf–spine, single-switch star, and dumbbell.
+"""Topology builders: leaf–spine, fat-tree, single-switch star, dumbbell.
 
 Every builder returns a :class:`Network` — the container for the
 engine, stats collector, hosts and switches of one simulation run.
+
+``leaf_spine`` and ``fat_tree`` take optional per-spine / per-core rate
+factors to build *asymmetric* fabrics (one thin path among equals — the
+regime where static-hash ECMP overloads the degraded link and weighted
+or flowlet selection should win). Path weights are capacity-derived at
+``Switch.finalize`` time, so asymmetric builders need no extra wiring.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.net.link import connect
 from repro.net.node import Host
@@ -91,20 +97,39 @@ def _new_network(seed: int) -> Network:
     return Network(create_engine(), NetStats(seed=seed), RngRegistry(seed))
 
 
+def _rate_factor(factors: Optional[Sequence[float]], index: int, what: str) -> float:
+    if factors is None:
+        return 1.0
+    factor = float(factors[index])
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"{what} rate factor must be in (0, 1], got {factor}")
+    return factor
+
+
 def leaf_spine(
     num_spines: int = 2,
     num_tors: int = 4,
     hosts_per_tor: int = 4,
     params: Optional[TopologyParams] = None,
     seed: int = 1,
+    spine_rate_factors: Optional[Sequence[float]] = None,
 ) -> Network:
     """Build a two-tier leaf–spine fabric.
 
     The paper's simulation uses 4 spines x 12 ToRs x 8 hosts (96 hosts,
     2:1 oversubscription); the defaults here are a scaled-down version
     with the same per-link rates and delays.
+
+    ``spine_rate_factors`` (one entry per spine, each in ``(0, 1]``)
+    scales every ToR<->spine link through that spine — an asymmetric
+    fabric where one spine plane runs thin.
     """
     params = params or TopologyParams()
+    if spine_rate_factors is not None and len(spine_rate_factors) != num_spines:
+        raise ValueError(
+            f"spine_rate_factors needs {num_spines} entries, "
+            f"got {len(spine_rate_factors)}"
+        )
     net = _new_network(seed)
     engine = net.engine
 
@@ -140,9 +165,11 @@ def leaf_spine(
 
     # ToR <-> spine links (full bipartite mesh).
     for tor in tors:
-        for spine in spines:
-            tport = tor.add_port(params.link_rate_bps, params.fabric_link_delay_ns)
-            sport = spine.add_port(params.link_rate_bps, params.fabric_link_delay_ns)
+        for spine_idx, spine in enumerate(spines):
+            factor = _rate_factor(spine_rate_factors, spine_idx, "spine")
+            rate = max(1, int(params.link_rate_bps * factor))
+            tport = tor.add_port(rate, params.fabric_link_delay_ns)
+            sport = spine.add_port(rate, params.fabric_link_delay_ns)
             connect(tport, sport)
 
     # FIBs.
@@ -158,6 +185,122 @@ def leaf_spine(
         for host in net.hosts:
             spine.fib.add_route(host.host_id, [host.host_id // hosts_per_tor])
         spine.finalize()
+
+    optimize_network(net)
+    return net
+
+
+def fat_tree(
+    k: int = 4,
+    params: Optional[TopologyParams] = None,
+    seed: int = 1,
+    core_rate_factors: Optional[Sequence[float]] = None,
+) -> Network:
+    """Build a three-tier k-ary fat-tree (Clos): ``k`` pods of ``k/2``
+    edge and ``k/2`` aggregation switches, ``(k/2)^2`` cores, and
+    ``k^3/4`` hosts — full bisection bandwidth at equal link rates.
+
+    Wiring (``half = k/2``):
+
+    - edge ``e`` of pod ``p`` serves hosts
+      ``p*half^2 + e*half .. + half-1`` on ports ``0..half-1`` and
+      uplinks to every agg of its pod on ports ``half..k-1``;
+    - agg ``a`` of pod ``p`` reaches its pod's edges on ports
+      ``0..half-1`` and cores ``a*half..(a+1)*half-1`` on ports
+      ``half..k-1``;
+    - core ``c`` connects to agg ``c // half`` of every pod, one port
+      per pod.
+
+    Multipath is everywhere: an inter-pod flow sees ``half`` candidate
+    aggs at its edge and ``half`` candidate cores at its agg. The FIBs
+    encode exactly that: local routes are single-candidate, everything
+    else fans over all uplinks.
+
+    ``core_rate_factors`` (one entry per core, each in ``(0, 1]``)
+    scales every agg<->core link of that core — the classic asymmetric
+    Clos where one core plane is degraded.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree k must be even and >= 2, got {k}")
+    half = k // 2
+    num_cores = half * half
+    if core_rate_factors is not None and len(core_rate_factors) != num_cores:
+        raise ValueError(
+            f"core_rate_factors needs {num_cores} entries, "
+            f"got {len(core_rate_factors)}"
+        )
+    params = params or TopologyParams()
+    net = _new_network(seed)
+    engine = net.engine
+
+    for host_id in range(k * half * half):
+        net.hosts.append(Host(engine, host_id))
+
+    def new_switch(name: str) -> Switch:
+        switch = Switch(
+            engine, len(net.switches), params.switch_config, net.stats, name=name
+        )
+        net.switches.append(switch)
+        return switch
+
+    edges = [[new_switch(f"edge{p}_{e}") for e in range(half)] for p in range(k)]
+    aggs = [[new_switch(f"agg{p}_{a}") for a in range(half)] for p in range(k)]
+    cores = [new_switch(f"core{c}") for c in range(num_cores)]
+
+    # Host <-> edge links (ports 0..half-1 on the edge switch).
+    for p in range(k):
+        for e, edge in enumerate(edges[p]):
+            for h in range(half):
+                host = net.hosts[p * half * half + e * half + h]
+                hport = host.attach_port(params.link_rate_bps, params.host_link_delay_ns)
+                eport = edge.add_port(params.link_rate_bps, params.host_link_delay_ns)
+                connect(hport, eport)
+
+    # Edge <-> agg links (full bipartite within the pod; edge ports
+    # half..k-1, agg ports 0..half-1 indexed by edge).
+    for p in range(k):
+        for a, agg in enumerate(aggs[p]):
+            for edge in edges[p]:
+                eport = edge.add_port(params.link_rate_bps, params.fabric_link_delay_ns)
+                aport = agg.add_port(params.link_rate_bps, params.fabric_link_delay_ns)
+                connect(eport, aport)
+
+    # Agg <-> core links: agg ``a`` owns cores a*half..(a+1)*half-1;
+    # core ports are indexed by pod.
+    for c, core in enumerate(cores):
+        a = c // half
+        factor = _rate_factor(core_rate_factors, c, "core")
+        rate = max(1, int(params.link_rate_bps * factor))
+        for p in range(k):
+            aport = aggs[p][a].add_port(rate, params.fabric_link_delay_ns)
+            cport = core.add_port(rate, params.fabric_link_delay_ns)
+            connect(aport, cport)
+
+    # FIBs.
+    uplinks = list(range(half, k))
+    for p in range(k):
+        for e, edge in enumerate(edges[p]):
+            first_local = p * half * half + e * half
+            for host in net.hosts:
+                if first_local <= host.host_id < first_local + half:
+                    edge.fib.add_route(host.host_id, [host.host_id - first_local])
+                else:
+                    edge.fib.add_route(host.host_id, uplinks)
+            edge.finalize()
+        for agg in aggs[p]:
+            for host in net.hosts:
+                if host.host_id // (half * half) == p:
+                    # Down to the edge that owns the host.
+                    agg.fib.add_route(
+                        host.host_id, [(host.host_id // half) % half]
+                    )
+                else:
+                    agg.fib.add_route(host.host_id, uplinks)
+            agg.finalize()
+    for core in cores:
+        for host in net.hosts:
+            core.fib.add_route(host.host_id, [host.host_id // (half * half)])
+        core.finalize()
 
     optimize_network(net)
     return net

@@ -2044,7 +2044,13 @@ pk_transmit(PortKernelObject *pk, PyObject *packet)
     CEngineObject *eng = pk->engine;
     long long seq = eng->seq;
     eng->seq = seq + 1;
-    long long tt = c_tx_time_ns(size, pk->rate_bps);
+    /* Read the rate live (one slot load): the fault layer's
+       link_degrade rescales port.rate_bps mid-run, and serialization
+       time must follow it exactly as the pure-Python path does. */
+    long long rate;
+    if (slot_ll(port, P_rate_bps, &rate) < 0)
+        return -1;
+    long long tt = c_tx_time_ns(size, rate);
     if (tt < 0)
         return -1;
     PyObject *args = PyTuple_Pack(1, packet);

@@ -603,6 +603,13 @@ class _ShardWorker:
             "events": self.engine.events_processed,
             "artifacts": self.artifact_events,
             "paused_ns": net.total_paused_ns(),
+            # Flowlet/reroute counts: only the owning shard routes real
+            # packets through a switch (replicas stay at zero), so the
+            # cross-shard sum counts each switch exactly once.
+            "path_churn": [
+                sum(sw.fib.flowlets for sw in net.switches),
+                sum(sw.fib.reroutes for sw in net.switches),
+            ],
             "port_count": sum(
                 len(d.ports) for d in list(net.switches) + list(net.hosts)
             ),
@@ -746,13 +753,17 @@ class _ShardedNetwork:
     fingerprints, reports) only read stats and aggregates.
     """
 
-    def __init__(self, engine: _ShardedEngine, stats, paused_ns: int, port_count: int):
+    def __init__(self, engine: _ShardedEngine, stats, paused_ns: int, port_count: int,
+                 path_churn=(0, 0)):
         self.engine = engine
         self.stats = stats
         self.hosts: list = []
         self.switches: list = []
         self._paused_ns = paused_ns
         self._port_count = port_count
+        #: (flowlets, reroutes) summed across shards; summary_row reads
+        #: these since the per-switch FIBs died with the workers.
+        self.fib_flowlets, self.fib_reroutes = path_churn
 
     def total_pause_frames(self) -> int:
         return self.stats.pause_frames
@@ -831,6 +842,10 @@ def _merge(config, payloads: List[Dict], duration_ns: int):
         stats,
         paused_ns=sum(p["paused_ns"] for p in payloads),
         port_count=payloads[0]["port_count"],
+        path_churn=(
+            sum(p["path_churn"][0] for p in payloads),
+            sum(p["path_churn"][1] for p in payloads),
+        ),
     )
     return ScenarioResult(config, net, duration_ns, queue_samples, None, None, None)
 

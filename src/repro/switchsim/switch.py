@@ -34,7 +34,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.net.link import Port
 from repro.net.node import Device
 from repro.net.packet import Color, IntRecord, Packet, PacketKind, recycle
-from repro.net.routing import Fib
+from repro.net.routing import RoutingError, make_fib
 from repro.sim.engine import Engine
 from repro.stats.collector import NetStats
 from repro.switchsim.buffer import SharedBuffer
@@ -64,6 +64,12 @@ class SwitchConfig:
       open-coded fast paths; any explicit spec binds the generic
       policy-dispatch variants at construction instead (no per-packet
       branch either way).
+    - ``path_selection`` is likewise a *spec* (``None`` | name | dict —
+      see :func:`repro.net.routing.make_fib`), resolved into a fresh
+      per-switch FIB at construction: ``None`` keeps the default
+      static-hash ECMP (bit-identical lookups to the pre-selector
+      code), ``"flowlet"`` / ``"wcmp"`` install the multipath
+      selectors.
     """
 
     buffer_bytes: int = 4_500_000  # paper: 4.5 MB per simulated switch
@@ -80,6 +86,8 @@ class SwitchConfig:
     color_classes: Optional[Tuple[int, ...]] = None
     #: Admission-policy spec (see repro.switchsim.policy.make_policy).
     admission: Optional[object] = None
+    #: Path-selection spec (see repro.net.routing.make_fib).
+    path_selection: Optional[object] = None
 
 
 class Switch(Device):
@@ -98,7 +106,9 @@ class Switch(Device):
         self.config = config
         self.stats = stats
         self.buffer = SharedBuffer(config.buffer_bytes, config.alpha)
-        self.fib = Fib(switch_id)
+        # Per-switch FIB from the path-selection spec (never a shared
+        # instance: the flowlet table and weights are per-switch state).
+        self.fib = make_fib(switch_id, config.path_selection, engine)
         self._port_queues: List[List[EgressQueue]] = []
         self._rr: List[int] = []  # per-port round-robin pointer
         self.pfc: Optional[PfcEngine] = None
@@ -149,6 +159,9 @@ class Switch(Device):
             xon = int(xoff * self.config.pfc.xon_fraction)
             self.pfc = PfcEngine(self, xoff, xon)
         self.policy.on_finalize()
+        # Capacity-derived path weights for weighted selectors (the
+        # fault layer re-syncs them on link_degrade/link_restore).
+        self.fib.on_finalize(self.ports)
 
     @property
     def queues(self) -> List[EgressQueue]:
@@ -195,7 +208,10 @@ class Switch(Device):
     def _receive_fast(self, packet: Packet, in_port: Port) -> None:
         # Fib.lookup, open-coded for the single-path common case.
         fib = self.fib
-        routes = fib._routes[packet.dst]
+        try:
+            routes = fib._routes[packet.dst]
+        except KeyError:
+            raise RoutingError(self.switch_id, packet.dst) from None
         egress_no = (
             routes[0] if len(routes) == 1 else fib.lookup(packet.dst, packet.flow_id)
         )
@@ -280,7 +296,10 @@ class Switch(Device):
     def _receive_audited(self, packet: Packet, in_port: Port) -> None:
         # Fib.lookup, open-coded for the single-path common case.
         fib = self.fib
-        routes = fib._routes[packet.dst]
+        try:
+            routes = fib._routes[packet.dst]
+        except KeyError:
+            raise RoutingError(self.switch_id, packet.dst) from None
         egress_no = (
             routes[0] if len(routes) == 1 else fib.lookup(packet.dst, packet.flow_id)
         )
@@ -373,7 +392,10 @@ class Switch(Device):
 
     def _receive_policy_fast(self, packet: Packet, in_port: Port) -> None:
         fib = self.fib
-        routes = fib._routes[packet.dst]
+        try:
+            routes = fib._routes[packet.dst]
+        except KeyError:
+            raise RoutingError(self.switch_id, packet.dst) from None
         egress_no = (
             routes[0] if len(routes) == 1 else fib.lookup(packet.dst, packet.flow_id)
         )
@@ -428,7 +450,10 @@ class Switch(Device):
 
     def _receive_policy_audited(self, packet: Packet, in_port: Port) -> None:
         fib = self.fib
-        routes = fib._routes[packet.dst]
+        try:
+            routes = fib._routes[packet.dst]
+        except KeyError:
+            raise RoutingError(self.switch_id, packet.dst) from None
         egress_no = (
             routes[0] if len(routes) == 1 else fib.lookup(packet.dst, packet.flow_id)
         )

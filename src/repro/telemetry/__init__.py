@@ -44,6 +44,7 @@ from repro.telemetry.samplers import (
     LinkLoadSampler,
     LinkUtilization,
     PfcStateSampler,
+    PathChurnSampler,
     PolicySampler,
     QueueDepthSampler,
     Sampler,
@@ -64,6 +65,7 @@ __all__ = [
     "LinkUtilization",
     "MetricsRegistry",
     "PfcStateSampler",
+    "PathChurnSampler",
     "PolicySampler",
     "QueueDepthSampler",
     "Sampler",

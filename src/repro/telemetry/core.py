@@ -33,6 +33,7 @@ from repro.telemetry.samplers import (
     FlowStateSampler,
     LinkLoadSampler,
     PfcStateSampler,
+    PathChurnSampler,
     PolicySampler,
     QueueDepthSampler,
 )
@@ -58,6 +59,7 @@ class TelemetryConfig:
     flows: bool = True
     links: bool = True
     policies: bool = True
+    paths: bool = True
 
     # Exporter toggles.
     jsonl: bool = True
@@ -199,6 +201,9 @@ class Telemetry:
         if config.policies:
             self.samplers.append(
                 PolicySampler(self.net, config.interval_ns, **common))
+        if config.paths:
+            self.samplers.append(
+                PathChurnSampler(self.net, config.interval_ns, **common))
         # RTO fires dump the flight recorder (rare: off the hot path).
         self.net.stats.on_rto_fire = self._on_rto_fire
         return self

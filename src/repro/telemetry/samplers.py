@@ -299,6 +299,44 @@ class PolicySampler(Sampler):
                 self._g_k.labels(switch.name).set(k)
 
 
+class PathChurnSampler(Sampler):
+    """Per-switch multipath churn: flowlet and reroute counters.
+
+    Rows are emitted for switches running a non-default path selector
+    (``flowlet``/``wcmp``), carrying the FIB's cumulative flowlet and
+    reroute counts — how often flows were re-hashed, and how often a
+    re-hash actually moved a flow to a different egress. Static-hash
+    fabrics emit nothing (the counters cannot move), keeping the
+    stream empty instead of dense-and-zero on default runs.
+    """
+
+    stream = "path"
+
+    def __init__(self, net, interval_ns: int, emit: EmitFn, registry, **kwargs):
+        self._switches = [
+            switch for switch in net.switches
+            if getattr(switch.fib, "kind", "static-hash") != "static-hash"
+        ]
+        self._g_flowlets = registry.gauge(
+            "tlt_path_flowlets_total", "Flowlets started at this switch", ("switch",),
+        )
+        self._g_reroutes = registry.gauge(
+            "tlt_path_reroutes_total",
+            "Flowlet re-hashes that changed the egress port", ("switch",),
+        )
+        super().__init__(net.engine, interval_ns, emit, **kwargs)
+
+    def sample(self) -> None:
+        for switch in self._switches:
+            fib = switch.fib
+            self.emit(self.stream, {
+                "switch": switch.name, "selection": fib.kind,
+                "flowlets": fib.flowlets, "reroutes": fib.reroutes,
+            })
+            self._g_flowlets.labels(switch.name).set(fib.flowlets)
+            self._g_reroutes.labels(switch.name).set(fib.reroutes)
+
+
 class LinkLoadSampler(Sampler):
     """Utilization of every connected port, from tx_bytes deltas."""
 
@@ -403,4 +441,5 @@ STREAM_FIELDS: Dict[str, Tuple[str, ...]] = {
     "flow": ("flow", "group", "inflight", "rto_armed", "cwnd", "rate_bps", "tlt"),
     "link": ("device", "port", "util"),
     "policy": ("switch", "policy", "k"),
+    "path": ("switch", "selection", "flowlets", "reroutes"),
 }
