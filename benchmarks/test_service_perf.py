@@ -1,0 +1,64 @@
+"""Service-path hot loops: streaming-quantile ingest and open-loop
+arrival generation.
+
+Both are per-request costs of the service emulator (:mod:`repro.service`)
+— every completed request folds latencies into
+:class:`repro.stats.streaming.StreamingQuantile` sketches, and every
+request starts life as a timer-wheel re-arm in
+:class:`repro.service.arrivals.OpenLoopArrivals` — so a regression in
+either shows up as lost simulated requests/second in every service-slo
+run. Rate-gated against ``BENCH_baseline.json`` via
+``tools/check_bench_regression.py`` like every other simulator
+benchmark (one sample or arrival counts as one "event").
+"""
+
+import random
+
+from repro.sim.backend import create_engine
+from repro.stats.streaming import StreamingQuantile, merge_all
+
+#: Samples folded per ingest round; arrivals generated per round.
+SAMPLES = 200_000
+ARRIVALS = 100_000
+
+
+def test_streaming_quantile_ingest(benchmark, record_events):
+    """add() throughput on a realistic latency stream (integer ns),
+    plus the sharded-merge + summarize tail every run pays once."""
+    rng = random.Random(42)
+    values = [int(rng.lognormvariate(12.0, 1.0)) for _ in range(SAMPLES)]
+
+    def ingest():
+        shards = [StreamingQuantile() for _ in range(4)]
+        for index, value in enumerate(values):
+            shards[index & 3].add(value)
+        merged = merge_all(shards)
+        assert len(merged) == SAMPLES
+        assert merged.summarize()["p99"] > 0
+        return SAMPLES
+
+    events = benchmark(ingest)
+    record_events(benchmark, events)
+
+
+def test_open_loop_arrival_rate(benchmark, record_events):
+    """Arrival generation on the timer wheel: each request is one
+    interarrival draw + one schedule_timer re-arm + one fire."""
+    from repro.service.arrivals import OpenLoopArrivals
+
+    def generate():
+        engine = create_engine()
+        fired = [0]
+
+        def sink():
+            fired[0] += 1
+
+        arrivals = OpenLoopArrivals(engine, sink, total=ARRIVALS,
+                                    rate_rps=1e6, seed=11)
+        arrivals.schedule()
+        engine.run(until=10**12)
+        assert fired[0] == ARRIVALS
+        return engine.events_processed
+
+    events = benchmark(generate)
+    record_events(benchmark, events)

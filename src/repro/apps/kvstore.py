@@ -39,29 +39,30 @@ class KvServer:
             value = self.store.get(meta["key"], 0)
             self._reply(src, max(value, REPLY_OK_BYTES), meta)
 
-    def _reply(self, src: int, size: int, meta: Dict[str, Any]) -> None:
+    def _reply(self, src: int, size: int, meta: Dict[str, Any],
+               delay_ns: int = 0) -> None:
         client_node = self.clients.get(src)
         if client_node is None:
             return
         reply_meta = dict(meta)
         reply_meta["op"] = "reply"
-        self.node.send(client_node, size, meta=reply_meta)
-
-
-_CLIENT_TAGS = iter(range(1 << 30))
+        self.node.send(client_node, size, meta=reply_meta, delay_ns=delay_ns)
 
 
 class KvClient:
     """Issues SET/GET operations and records response times (ns).
 
     Multiple clients may share one host node; each tags its operations
-    so replies are routed to the issuing client.
+    so replies are routed to the issuing client. Tags are allocated by
+    the node (node-local counter, see :meth:`RpcNode.alloc_client_tag`)
+    so a checkpoint-restored run keeps the same deterministic sequence
+    a process-global counter could not guarantee.
     """
 
     def __init__(self, node: RpcNode, server: KvServer):
         self.node = node
         self.server = server
-        self.tag = next(_CLIENT_TAGS)
+        self.tag = node.alloc_client_tag()
         self.engine = node.net.engine
         self.response_times: List[int] = []
         self.pending: Dict[int, int] = {}  # op id -> issue time

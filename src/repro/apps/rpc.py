@@ -19,6 +19,30 @@ from repro.transport.registry import create_flow
 Handler = Callable[[int, int, Dict[str, Any]], None]
 
 
+class MessageDelivery:
+    """Per-message ``on_complete_rx`` callback.
+
+    A callable class rather than a closure so a message in flight never
+    blocks engine checkpointing (:mod:`repro.sim.checkpoint`): closures
+    do not pickle, instances of this do — behaviour is identical.
+    """
+
+    __slots__ = ("dst", "src_host_id", "size", "meta")
+
+    def __init__(self, dst: "RpcNode", src_host_id: int, size: int,
+                 meta: Dict[str, Any]):
+        self.dst = dst
+        self.src_host_id = src_host_id
+        self.size = size
+        self.meta = meta
+
+    def __call__(self, record) -> None:
+        dst = self.dst
+        dst.messages_received += 1
+        for handler in dst.handlers:
+            handler(self.src_host_id, self.size, self.meta)
+
+
 class RpcNode:
     """A host-level messaging endpoint."""
 
@@ -37,6 +61,16 @@ class RpcNode:
         self.tlt = tlt
         self.handlers: list = []
         self.messages_received = 0
+        self._next_client_tag = 0
+
+    def alloc_client_tag(self) -> int:
+        """Allocate a reply-demux tag, unique among clients sharing
+        this node (replies only ever fan out to one node's handlers).
+        Node-local — not a process global — so a checkpoint-restored
+        run keeps allocating the same deterministic sequence."""
+        tag = self._next_client_tag
+        self._next_client_tag += 1
+        return tag
 
     def on_message(self, handler: Handler) -> None:
         """Register an arrival handler; all registered handlers run for
@@ -53,12 +87,7 @@ class RpcNode:
     ) -> FlowSpec:
         """Send ``size`` bytes to ``dst``; its handler fires on delivery."""
         meta = meta or {}
-
-        def delivered(record) -> None:
-            dst.messages_received += 1
-            for handler in dst.handlers:
-                handler(self.host_id, size, meta)
-
+        delivered = MessageDelivery(dst, self.host_id, size, meta)
         spec = FlowSpec(
             flow_id=self.net.new_flow_id(),
             src=self.host_id,

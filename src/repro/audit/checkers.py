@@ -150,7 +150,9 @@ def check_pfc_consistency(net) -> List[str]:
 def check_flow_ledger(net) -> List[str]:
     violations = []
     stats = net.stats
-    total_timeouts = 0
+    # Retired records (service runs prune completed flows for O(1)
+    # stats memory) fold their timeout counts into this aggregate.
+    total_timeouts = getattr(stats, "retired_timeouts", 0)
     for record in stats.flows.values():
         total_timeouts += record.timeouts
         label = f"flow {record.flow_id}"

@@ -130,6 +130,12 @@ class Job:
         # by contract, so both share one cache entry.
         if config.shards is not None:
             config = replace(config, shards=None)
+        # Checkpointing rides the same rule: a checkpointed run
+        # continues bit-identically after restore by contract, so the
+        # checkpoint directory is execution strategy, not identity.
+        # (The full exclusion rule lives in docs/API.md.)
+        if config.checkpoint is not None:
+            config = replace(config, checkpoint=None)
         return fingerprint(config, self.seed, self.metrics)
 
 

@@ -60,6 +60,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext-multipath": "repro.experiments.ext_multipath",
     "ext-policies": "repro.experiments.ext_policies",
     "ext-shard-scale": "repro.experiments.ext_shard_scale",
+    "service-slo": "repro.experiments.service_slo",
 }
 
 
@@ -211,6 +212,13 @@ def main(argv=None) -> int:
                              "runs are not re-simulated and emit no "
                              "telemetry — combine with --no-cache for fresh "
                              "streams)")
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="service runs only: save a mid-run simulation "
+                             "checkpoint into DIR at the arrival-span "
+                             "midpoint (pure backend; resume with "
+                             "repro.service.resume_service; excluded from "
+                             "cache keys like --telemetry/--shards, so "
+                             "combine with --no-cache to force execution)")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="split every leaf-spine run across N shard worker "
                              "processes synchronized by conservative lookahead "
@@ -255,6 +263,12 @@ def main(argv=None) -> int:
         # Via the environment so pool workers inherit it. Telemetry is
         # excluded from cache keys (observation, not result).
         os.environ["TLT_TELEMETRY"] = os.path.abspath(args.telemetry)
+
+    if args.checkpoint:
+        # Via the environment so pool workers inherit it. Like
+        # telemetry and shards, a checkpoint is execution strategy,
+        # not a scenario input: cache keys ignore it.
+        os.environ["TLT_CHECKPOINT"] = os.path.abspath(args.checkpoint)
 
     if args.shards is not None:
         if args.shards < 1:

@@ -60,6 +60,31 @@ ROCE_FAMILY = frozenset({"dcqcn", "dcqcn-sack", "irn", "hpcc"})
 BUFFER_PER_PORT = 375 * KB
 
 
+@dataclass(frozen=True)
+class EcnStreamFactory:
+    """Per-switch RED marking streams, seeded by switch name.
+
+    RED marking draws an RNG per probabilistic decision, so every
+    switch needs its *own* stream — a single fabric-global RNG would
+    make marking depend on global packet arrival order (and kept the
+    RoCE family out of the sharded executor: name-derived seeds are
+    identical in every shard replica, and only the owning shard draws
+    from them). A module-level class rather than a closure so networks
+    built for the RoCE family stay picklable for checkpoint/restore.
+    """
+
+    kmin: int
+    kmax: int
+    pmax: float
+    seed: int
+
+    def __call__(self, name: str) -> RedEcn:
+        return RedEcn(
+            self.kmin, self.kmax, self.pmax,
+            random.Random(derive_seed(self.seed, f"ecn.{name}")),
+        )
+
+
 @dataclass
 class ScenarioConfig:
     """One simulation run's configuration."""
@@ -152,6 +177,22 @@ class ScenarioConfig:
     #: result-cache keys, and samplers never perturb the simulation —
     #: determinism fingerprints are bit-identical with it on.
     telemetry: Optional[Dict] = None
+    #: Service-emulator spec (:class:`repro.service.ServiceSpec` dict
+    #: form). When set, :func:`run_scenario` dispatches to
+    #: :func:`repro.service.run.run_service`: the workload is the
+    #: open-loop multi-tier request stream instead of the
+    #: background+incast mix. Part of the result identity, folded into
+    #: cache keys like any other field.
+    service: Optional[Dict] = None
+    #: Checkpoint spec: ``{"dir": path, "at_ns": sim-time}`` (``at_ns``
+    #: optional — defaults to the midpoint of the arrival span), or just
+    #: a directory string. ``None`` defers to the ``TLT_CHECKPOINT``
+    #: environment variable (a directory, set by ``--checkpoint``).
+    #: Checkpointing is an execution strategy, not a scenario input —
+    #: restore continues bit-identically by contract — so it is
+    #: *excluded* from result-cache keys (same rule as telemetry and
+    #: shards; see docs/API.md). Pure backend only; service runs only.
+    checkpoint: Optional[object] = None
 
     # -- derived ----------------------------------------------------------------
 
@@ -228,6 +269,27 @@ class ScenarioConfig:
             return None
         return TelemetryConfig.from_spec(out_dir).to_spec()
 
+    def resolved_checkpoint(self) -> Optional[Dict]:
+        """The checkpoint spec for this run, canonicalized, or None.
+
+        An explicit ``checkpoint`` spec on the config wins; otherwise
+        ``TLT_CHECKPOINT`` names a directory. Canonical form is
+        ``{"dir": str, "at_ns": Optional[int]}``.
+        """
+        spec = self.checkpoint
+        if spec is None:
+            directory = os.environ.get("TLT_CHECKPOINT", "")
+            if not directory:
+                return None
+            spec = directory
+        if isinstance(spec, str):
+            return {"dir": spec, "at_ns": None}
+        if isinstance(spec, dict) and "dir" in spec:
+            return {"dir": spec["dir"], "at_ns": spec.get("at_ns")}
+        raise ValueError(
+            f"checkpoint spec must be a directory or {{'dir', 'at_ns'}} "
+            f"dict, got {spec!r}")
+
     @property
     def resolved_color_threshold(self) -> Optional[int]:
         if not self.tlt:
@@ -249,6 +311,9 @@ class ScenarioResult:
     faults: Optional[FaultController] = None
     #: Attached :class:`repro.telemetry.Telemetry` (finalized), or None.
     telemetry: Optional[object] = None
+    #: The :class:`repro.service.ServiceEmulator` for service runs
+    #: (response-time sketches, per-tier breakdown), or None.
+    service: Optional[object] = None
 
     @property
     def stats(self):
@@ -311,20 +376,10 @@ def build_network(config: ScenarioConfig) -> Network:
         # Stateless step marking: one shared scheme object is fine.
         ecn = StepEcn(config.ecn_k_bytes)
     elif config.transport in ("dcqcn", "dcqcn-sack", "irn"):
-        # RED marking draws an RNG per probabilistic decision, so every
-        # switch needs its *own* stream, seeded by name — a single
-        # fabric-global RNG would make marking depend on global packet
-        # arrival order (and kept the RoCE family out of the sharded
-        # executor: name-derived seeds are identical in every shard
-        # replica, and only the owning shard draws from them).
-        kmin, kmax, pmax = config.dcqcn_kmin, config.dcqcn_kmax, config.dcqcn_pmax
-        seed = config.seed
-
-        def ecn_factory(name: str) -> RedEcn:
-            return RedEcn(
-                kmin, kmax, pmax,
-                random.Random(derive_seed(seed, f"ecn.{name}")),
-            )
+        ecn_factory = EcnStreamFactory(
+            config.dcqcn_kmin, config.dcqcn_kmax, config.dcqcn_pmax,
+            config.seed,
+        )
 
     switch_config = SwitchConfig(
         buffer_bytes=ports * config.buffer_per_port,
@@ -393,6 +448,13 @@ def _telemetry_run_id(config: ScenarioConfig) -> str:
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Build, run and measure one scenario."""
+    if config.service is not None:
+        # Service runs replace the whole traffic layer (open-loop
+        # request stream instead of background+incast), so they take
+        # their own drive loop; sharding does not apply to them.
+        from repro.service.run import run_service
+
+        return run_service(config)
     shards = config.resolved_shards
     if shards > 1 and config.topology == "leaf_spine":
         from repro.sim.sharding import run_scenario_sharded

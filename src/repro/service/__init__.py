@@ -1,0 +1,29 @@
+"""Trace-driven open-loop multi-tier service emulation (ROADMAP §5).
+
+A load-balancer tier fans every incoming request over cache and storage
+tiers built on :mod:`repro.apps`; arrivals are open-loop (generation
+never blocks on completions), latencies stream into O(1)-memory
+quantile sketches (:mod:`repro.stats.streaming`) and long runs can
+checkpoint/restore bit-identically (:mod:`repro.sim.checkpoint`).
+
+See ``docs/SERVICE.md`` for the tier-graph spec format, the SLO report
+schema and the checkpoint/restore determinism contract.
+"""
+
+from repro.service.arrivals import OpenLoopArrivals
+from repro.service.emulator import ServiceEmulator
+from repro.service.run import resume_service, run_service, service_fingerprint
+from repro.service.slo import render_slo_report, slo_report
+from repro.service.spec import ServiceSpec, TierSpec
+
+__all__ = [
+    "OpenLoopArrivals",
+    "ServiceEmulator",
+    "ServiceSpec",
+    "TierSpec",
+    "render_slo_report",
+    "resume_service",
+    "run_service",
+    "service_fingerprint",
+    "slo_report",
+]

@@ -1,0 +1,92 @@
+"""Open-loop request arrival generation on the timer wheel.
+
+Open-loop means the generator is clocked purely by its interarrival
+process: a request fires when its timer fires, whether or not earlier
+requests have completed — the property that lets offered load exceed
+service capacity (the regime where tail-latency SLOs break and the
+paper's timeout-less claim matters). Contrast
+:class:`repro.workload.background.BackgroundTraffic`, which pre-draws
+its whole Poisson schedule up front: that is fine for ten thousand
+flows but would materialize millions of events for steady-state runs,
+so this generator draws each gap lazily and re-arms itself on the
+hierarchical timer wheel (PR 3, ``Engine.schedule_timer``) — O(1)
+outstanding events however long the run.
+
+Determinism: one :class:`random.Random` seeded via
+``derive_seed(seed, "arrivals.<tier>")``, drawn only in timer order, so
+the schedule is independent of completions, backend and telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from repro.sim.rng import derive_seed
+
+
+class OpenLoopArrivals:
+    """Self-rescheduling arrival generator for one front tier."""
+
+    def __init__(
+        self,
+        engine,
+        sink: Callable[[], None],
+        total: int,
+        rate_rps: float,
+        process: str = "poisson",
+        sigma: float = 1.0,
+        seed: int = 0,
+        tier: str = "lb",
+        start_ns: int = 0,
+    ):
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        self.engine = engine
+        self.sink = sink
+        self.total = total
+        self.rate_rps = rate_rps
+        self.process = process
+        self.sigma = sigma
+        self.start_ns = start_ns
+        self.generated = 0
+        self.rng = random.Random(derive_seed(seed, f"arrivals.{tier}"))
+        # Log-normal with the same mean gap as the Poisson process:
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = 1/rate.
+        self._mu = math.log(1.0 / rate_rps) - 0.5 * sigma * sigma
+        self._armed = False
+
+    def _gap_ns(self) -> int:
+        if self.process == "poisson":
+            gap_s = self.rng.expovariate(self.rate_rps)
+        elif self.process == "lognormal":
+            gap_s = self.rng.lognormvariate(self._mu, self.sigma)
+        else:
+            raise ValueError(f"unknown arrival process {self.process!r}")
+        return max(1, int(round(gap_s * 1e9)))
+
+    def schedule(self) -> None:
+        """Arm the first arrival (idempotent)."""
+        if self._armed or self.generated >= self.total:
+            return
+        self._armed = True
+        delay = max(1, self.start_ns - self.engine.now) + self._gap_ns()
+        self.engine.schedule_timer(delay, self._fire)
+
+    def _fire(self) -> None:
+        self.generated += 1
+        # Re-arm *before* handing the request off: the next arrival
+        # must depend only on the interarrival draw, never on what
+        # request processing schedules.
+        if self.generated < self.total:
+            self.engine.schedule_timer(self._gap_ns(), self._fire)
+        else:
+            self._armed = False
+        self.sink()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.generated >= self.total

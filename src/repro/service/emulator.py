@@ -1,0 +1,335 @@
+"""The multi-tier service emulator: tier graph + request lifecycle.
+
+One request arrives at a load-balancer host (open-loop, see
+:mod:`repro.service.arrivals`), fans out over every backend tier in
+parallel — ``fanout`` distinct servers per tier, reply sizes drawn from
+the tier's published CDF, an exponential server-side service time —
+and completes when the **slowest shard** replies (the fan-out/fan-in
+pattern whose tail the paper's timeout-less claim is about). Optional
+hedging re-issues a straggling shard op to one extra server after
+``hedge_ns``; first reply wins.
+
+Built on :mod:`repro.apps` (``RpcNode``/``KvClient``/``KvServer``):
+every shard op is a ``svc_get`` RPC whose request (100 B) travels
+lb→server and whose sized reply travels server→lb, each as its own
+flow on the simulated fabric — so switch buffers, TLT coloring, PFC
+and RTOs shape service latency exactly as they shape FCTs.
+
+Scale discipline for million-request runs:
+
+- latencies stream into :class:`repro.stats.streaming.StreamingQuantile`
+  sketches (O(1) memory), never into per-sample lists;
+- completed :class:`FlowRecord`\\ s retire periodically
+  (:meth:`NetStats.retire_flow`), keeping the flows dict O(live);
+- every callback on the engine heap is a bound method or a callable
+  class — no closures — so a mid-run checkpoint
+  (:mod:`repro.sim.checkpoint`) can pickle the whole graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.apps.kvstore import REPLY_OK_BYTES, REQUEST_BYTES, KvClient, KvServer
+from repro.apps.rpc import RpcNode
+from repro.service.spec import ServiceSpec
+from repro.sim.rng import derive_seed
+from repro.stats.streaming import StreamingQuantile
+from repro.workload.distributions import DISTRIBUTIONS
+
+
+class ServiceServer(KvServer):
+    """A backend tier server: replies to ``svc_get`` after a drawn
+    service time, with the reply size the client requested."""
+
+    def __init__(self, node: RpcNode, tier: str, service_ns: int,
+                 rng: random.Random):
+        super().__init__(node)
+        self.tier = tier
+        self.service_ns = service_ns
+        self.rng = rng
+        self.requests_served = 0
+
+    def _handle(self, src: int, size: int, meta: Dict) -> None:
+        if meta.get("op") != "svc_get":
+            super()._handle(src, size, meta)
+            return
+        self.requests_served += 1
+        delay = 0
+        if self.service_ns > 0:
+            delay = int(round(self.rng.expovariate(1.0 / self.service_ns)))
+        self._reply(src, max(int(meta["reply_size"]), REPLY_OK_BYTES), meta,
+                    delay_ns=delay)
+
+
+class ServiceClient(KvClient):
+    """A load-balancer-side client for one (lb, tier, server) edge.
+
+    Differs from :class:`KvClient` in two ways required at service
+    scale: per-op latencies stream into the emulator's tier sketch
+    instead of an unbounded ``response_times`` list, and ``fetch``
+    carries the reply size so the server needs no pre-populated store.
+    """
+
+    def __init__(self, node: RpcNode, server: ServiceServer,
+                 emulator: "ServiceEmulator", tier_idx: int):
+        super().__init__(node, server)
+        self.emulator = emulator
+        self.tier_idx = tier_idx
+
+    def fetch(self, key: str, reply_size: int, on_reply) -> int:
+        op_id = self._next_op
+        self._next_op += 1
+        self.pending[op_id] = self.engine.now
+        self._callbacks[op_id] = on_reply
+        meta = {
+            "op": "svc_get",
+            "key": key,
+            "reply_size": reply_size,
+            "op_id": op_id,
+            "client_tag": self.tag,
+        }
+        self.node.send(self.server.node, REQUEST_BYTES, meta=meta)
+        return op_id
+
+    def _on_reply(self, src: int, size: int, meta: Dict) -> None:
+        if meta.get("op") != "reply" or meta.get("client_tag") != self.tag:
+            return
+        op_id = meta["op_id"]
+        issued = self.pending.pop(op_id, None)
+        if issued is None:
+            return
+        self.emulator.on_shard_latency(self.tier_idx, self.engine.now - issued)
+        callback = self._callbacks.pop(op_id, None)
+        if callback is not None:
+            callback(op_id)
+
+
+class ServiceRequest:
+    """Fan-out/fan-in state of one in-flight request."""
+
+    __slots__ = ("rid", "start_ns", "lb_index", "outstanding", "done",
+                 "servers", "sizes")
+
+    def __init__(self, rid: int, start_ns: int, lb_index: int):
+        self.rid = rid
+        self.start_ns = start_ns
+        self.lb_index = lb_index
+        self.outstanding = 0
+        #: (tier_idx, slot) -> first reply seen (hedge losers ignored).
+        self.done: Dict[Tuple[int, int], bool] = {}
+        #: (tier_idx, slot) -> primary server index (hedges avoid it).
+        self.servers: Dict[Tuple[int, int], int] = {}
+        #: (tier_idx, slot) -> drawn reply size (hedges reuse it).
+        self.sizes: Dict[Tuple[int, int], int] = {}
+
+
+class _ShardReply:
+    """Picklable per-shard-op completion callback (no closures on the
+    engine heap — the checkpoint contract)."""
+
+    __slots__ = ("emulator", "rid", "tier_idx", "slot")
+
+    def __init__(self, emulator: "ServiceEmulator", rid: int, tier_idx: int,
+                 slot: int):
+        self.emulator = emulator
+        self.rid = rid
+        self.tier_idx = tier_idx
+        self.slot = slot
+
+    def __call__(self, op_id: int) -> None:
+        self.emulator._on_shard_reply(self.rid, self.tier_idx, self.slot)
+
+
+class ServiceEmulator:
+    """Tier graph + request lifecycle on an existing network."""
+
+    def __init__(self, net, spec, transport: str = "dctcp", config=None,
+                 tlt=None, seed: int = 1):
+        from repro.service.arrivals import OpenLoopArrivals
+
+        self.net = net
+        self.engine = net.engine
+        self.spec = ServiceSpec.from_spec(spec)
+        self.seed = seed
+        spec = self.spec
+        num_hosts = len(net.hosts)
+        if num_hosts < spec.lb_hosts + 1:
+            raise ValueError(
+                f"service spec needs at least {spec.lb_hosts + 1} hosts "
+                f"(lb + servers); topology has {num_hosts}")
+
+        def node(host_id: int) -> RpcNode:
+            return RpcNode(net, host_id, transport, config, tlt)
+
+        #: Load-balancer endpoints; requests round-robin over them.
+        self.lb_nodes: List[RpcNode] = [node(h) for h in range(spec.lb_hosts)]
+        # Backend servers spread round-robin over the remaining hosts
+        # (tiers interleave; they may share hosts at tiny scales).
+        backend_hosts = list(range(spec.lb_hosts, num_hosts))
+        self.servers: List[List[ServiceServer]] = []
+        assigned = 0
+        for tier in spec.tiers:
+            tier_servers = []
+            for i in range(tier.servers):
+                host = backend_hosts[assigned % len(backend_hosts)]
+                assigned += 1
+                rng = random.Random(derive_seed(seed, f"service.{tier.name}.{i}"))
+                tier_servers.append(
+                    ServiceServer(node(host), tier.name, tier.service_ns, rng))
+            self.servers.append(tier_servers)
+        #: (lb_index, tier_idx, server_idx) -> client.
+        self.clients: Dict[Tuple[int, int, int], ServiceClient] = {}
+        for lb_index, lb_node in enumerate(self.lb_nodes):
+            for tier_idx, tier_servers in enumerate(self.servers):
+                for server_idx, server in enumerate(tier_servers):
+                    self.clients[(lb_index, tier_idx, server_idx)] = (
+                        ServiceClient(lb_node, server, self, tier_idx))
+
+        # Seeded decision streams, one per tier per purpose.
+        self._pick_rngs = [
+            random.Random(derive_seed(seed, f"fanout.{tier.name}"))
+            for tier in spec.tiers]
+        self._size_rngs = [
+            random.Random(derive_seed(seed, f"size.{tier.name}"))
+            for tier in spec.tiers]
+        self._hedge_rngs = [
+            random.Random(derive_seed(seed, f"hedge.{tier.name}"))
+            for tier in spec.tiers]
+        self._dists = [DISTRIBUTIONS[tier.workload] for tier in spec.tiers]
+
+        # Streaming latency estimators (O(1) memory at any run length).
+        self.request_sketch = StreamingQuantile()
+        self.tier_sketches: List[StreamingQuantile] = [
+            StreamingQuantile() for _ in spec.tiers]
+
+        self.arrivals = OpenLoopArrivals(
+            self.engine, self._start_request, spec.requests, spec.rate_rps,
+            process=spec.process, sigma=spec.sigma, seed=seed,
+            tier=spec.lb_name)
+        self.live: Dict[int, ServiceRequest] = {}
+        self.started = 0
+        self.completed = 0
+        self.hedges = 0
+        self._retire_armed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the arrival process (and the flow retirer)."""
+        self.arrivals.schedule()
+        if self.spec.retire_interval_ns > 0 and not self._retire_armed:
+            self._retire_armed = True
+            self.engine.schedule_timer(self.spec.retire_interval_ns,
+                                       self._retire_tick)
+
+    def _start_request(self) -> None:
+        rid = self.started
+        self.started += 1
+        request = ServiceRequest(rid, self.engine.now,
+                                 rid % len(self.lb_nodes))
+        self.live[rid] = request
+        for tier_idx, tier in enumerate(self.spec.tiers):
+            picked = self._pick_rngs[tier_idx].sample(
+                range(tier.servers), tier.fanout)
+            for slot, server_idx in enumerate(picked):
+                size = self._dists[tier_idx].sample(self._size_rngs[tier_idx])
+                if tier.max_bytes:
+                    size = min(size, tier.max_bytes)
+                key = (tier_idx, slot)
+                request.servers[key] = server_idx
+                request.sizes[key] = size
+                request.done[key] = False
+                request.outstanding += 1
+                self._issue_shard(request, tier_idx, slot, server_idx)
+                if tier.hedge_ns is not None and tier.servers > 1:
+                    self.engine.schedule_timer(
+                        tier.hedge_ns, self._hedge_check, rid, tier_idx, slot)
+
+    def _issue_shard(self, request: ServiceRequest, tier_idx: int, slot: int,
+                     server_idx: int) -> None:
+        client = self.clients[(request.lb_index, tier_idx, server_idx)]
+        client.fetch(
+            f"r{request.rid}.{slot}",
+            request.sizes[(tier_idx, slot)],
+            _ShardReply(self, request.rid, tier_idx, slot),
+        )
+
+    def _hedge_check(self, rid: int, tier_idx: int, slot: int) -> None:
+        request = self.live.get(rid)
+        if request is None or request.done[(tier_idx, slot)]:
+            return
+        tier = self.spec.tiers[tier_idx]
+        primary = request.servers[(tier_idx, slot)]
+        # Any server but the straggling primary, from the tier's
+        # dedicated hedge stream.
+        alt = self._hedge_rngs[tier_idx].randrange(tier.servers - 1)
+        if alt >= primary:
+            alt += 1
+        self.hedges += 1
+        self._issue_shard(request, tier_idx, slot, alt)
+
+    def _on_shard_reply(self, rid: int, tier_idx: int, slot: int) -> None:
+        request = self.live.get(rid)
+        if request is None or request.done[(tier_idx, slot)]:
+            return  # hedge loser: latency already sampled by the client
+        request.done[(tier_idx, slot)] = True
+        request.outstanding -= 1
+        if request.outstanding == 0:
+            self.request_sketch.add(self.engine.now - request.start_ns)
+            self.completed += 1
+            del self.live[rid]
+
+    def on_shard_latency(self, tier_idx: int, latency_ns: int) -> None:
+        """Every shard-op reply (hedge winners *and* losers) lands in
+        the tier's sketch: it measures per-op server+network latency."""
+        self.tier_sketches[tier_idx].add(latency_ns)
+
+    def _retire_tick(self) -> None:
+        stats = self.net.stats
+        retire = stats.retire_flow
+        for flow_id, record in list(stats.flows.items()):
+            if record.end_rx_ns is not None and record.end_ack_ns is not None:
+                retire(flow_id)
+        if self.completed < self.spec.requests:
+            self.engine.schedule_timer(self.spec.retire_interval_ns,
+                                       self._retire_tick)
+        else:
+            self._retire_armed = False
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.completed >= self.spec.requests
+
+    def active(self) -> bool:
+        """Keep-sampling predicate for telemetry (picklable)."""
+        return not self.finished
+
+    def fingerprint(self) -> Dict:
+        """Bit-exact digest of the emulator's observable state — the
+        checkpoint/restore determinism gate compares these with ``==``."""
+        return {
+            "started": self.started,
+            "completed": self.completed,
+            "hedges": self.hedges,
+            "live": sorted(self.live),
+            "request": self.request_sketch.to_state(),
+            "tiers": {
+                tier.name: sketch.to_state()
+                for tier, sketch in zip(self.spec.tiers, self.tier_sketches)
+            },
+        }
+
+    def tier_summaries(self) -> Dict[str, Dict]:
+        return {
+            tier.name: sketch.summarize()
+            for tier, sketch in zip(self.spec.tiers, self.tier_sketches)
+        }
+
+
+# Re-exported for callers that want the wire constants.
+__all__ = ["ServiceEmulator", "ServiceServer", "ServiceClient",
+           "ServiceRequest", "REQUEST_BYTES", "REPLY_OK_BYTES"]

@@ -1,0 +1,111 @@
+"""SLO reporting for service runs.
+
+:func:`slo_report` reduces one finished run to a JSON-able report —
+response-time percentiles (from the streaming sketches, so exact at any
+run length within the documented 1% relative tolerance), goodput,
+timeout budget and a per-tier breakdown — and
+:func:`render_slo_report` renders it as ASCII text (the HTML form
+reuses :func:`repro.telemetry.report.render_html`, the same wrapper the
+telemetry reports ship through). Schema documented in
+``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Report schema version (bump on layout changes).
+SLO_SCHEMA = 1
+
+
+def slo_report(emulator, stats, duration_ns: int) -> Dict:
+    """Reduce one finished service run to the SLO report dict."""
+    spec = emulator.spec
+    request = emulator.request_sketch.summarize()
+    p99_ms = request["p99"] / 1e6
+    timeouts_per_1k = stats.timeouts_per_1k_flows()
+    duration_s = duration_ns / 1e9 if duration_ns > 0 else 0.0
+    return {
+        "schema": SLO_SCHEMA,
+        "spec": spec.to_spec(),
+        "requests": {
+            "offered": spec.requests,
+            "started": emulator.started,
+            "completed": emulator.completed,
+            "in_flight": len(emulator.live),
+            "hedges": emulator.hedges,
+        },
+        "response_time_ms": {
+            key: (request[key] / 1e6 if key != "count" else request[key])
+            for key in ("count", "mean", "p50", "p99", "p999", "max")
+        },
+        "slo": {
+            "p99_target_ms": spec.slo_p99_ms,
+            "p99_ms": p99_ms,
+            "met": bool(p99_ms <= spec.slo_p99_ms),
+        },
+        "goodput": {
+            "requests_per_sec": (
+                emulator.completed / duration_s if duration_s else 0.0),
+            "fg_bits_per_sec": stats.goodput_bps("fg", duration_ns),
+        },
+        "timeout_budget": {
+            "budget_per_1k_flows": spec.timeout_budget_per_1k,
+            "timeouts": stats.timeouts,
+            "timeouts_per_1k_flows": timeouts_per_1k,
+            "within": bool(timeouts_per_1k <= spec.timeout_budget_per_1k),
+        },
+        "tiers": {
+            name: {
+                key: (summary[key] / 1e6 if key != "count" else summary[key])
+                for key in ("count", "mean", "p50", "p99", "p999", "max")
+            }
+            for name, summary in emulator.tier_summaries().items()
+        },
+        "flows": {
+            "total": stats.flow_count(),
+            "incomplete": stats.incomplete_flows(),
+            "retired": sum(stats.retired_flows.values()),
+        },
+        "duration_ms": duration_ns / 1e6,
+    }
+
+
+def render_slo_report(report: Dict, width: int = 64) -> str:
+    """ASCII rendering of :func:`slo_report` output."""
+    lines = []
+    bar = "=" * width
+    slo = report["slo"]
+    budget = report["timeout_budget"]
+    requests = report["requests"]
+    lines.append(bar)
+    lines.append("Service SLO report")
+    lines.append(bar)
+    lines.append(
+        f"requests: {requests['completed']}/{requests['offered']} completed"
+        f" ({requests['in_flight']} in flight, {requests['hedges']} hedged)")
+    resp = report["response_time_ms"]
+    lines.append(
+        f"response time ms: p50 {resp['p50']:.3f}  p99 {resp['p99']:.3f}"
+        f"  p999 {resp['p999']:.3f}  max {resp['max']:.3f}")
+    verdict = "MET" if slo["met"] else "VIOLATED"
+    lines.append(
+        f"p99 SLO {slo['p99_target_ms']:.3f} ms: {verdict}"
+        f" (measured {slo['p99_ms']:.3f} ms)")
+    lines.append(
+        f"goodput: {report['goodput']['requests_per_sec']:.0f} req/s, "
+        f"{report['goodput']['fg_bits_per_sec'] / 1e9:.3f} Gbps fg")
+    within = "within" if budget["within"] else "OVER"
+    lines.append(
+        f"timeout budget: {budget['timeouts_per_1k_flows']:.3f}/1k flows "
+        f"({within} budget {budget['budget_per_1k_flows']:.3f}; "
+        f"{budget['timeouts']} RTO fires)")
+    lines.append("-" * width)
+    lines.append(f"{'tier':12s} {'ops':>9s} {'p50 ms':>9s} {'p99 ms':>9s} "
+                 f"{'p999 ms':>9s}")
+    for name, tier in report["tiers"].items():
+        lines.append(
+            f"{name:12s} {tier['count']:9d} {tier['p50']:9.3f} "
+            f"{tier['p99']:9.3f} {tier['p999']:9.3f}")
+    lines.append(bar)
+    return "\n".join(lines)

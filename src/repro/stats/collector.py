@@ -162,6 +162,13 @@ class NetStats:
         self.rtt_samples_bg = Reservoir(MAX_SAMPLES, seed=f"{seed}:rtt_bg")
         self.delivery_samples = Reservoir(MAX_SAMPLES, seed=f"{seed}:delivery")
         self.flows: Dict[int, FlowRecord] = {}
+        # Retired-flow aggregates: million-request service runs
+        # (repro.service) retire completed FlowRecords so ``flows``
+        # stays O(live flows); the totals below keep the derived
+        # metrics (flow counts, timeouts/1k, goodput) exact.
+        self.retired_flows: Dict[str, int] = {}  # group -> count
+        self.retired_bytes: Dict[str, int] = {}  # group -> completed bytes
+        self.retired_timeouts = 0
         # Flow ids whose sender lives on another shard (sharded runs
         # only, see repro.sim.sharding): the local record is an inert
         # receiver-side replica — tx/retx/timeout counters stay zero by
@@ -180,6 +187,27 @@ class NetStats:
         record = FlowRecord(flow_id, src, dst, size, start_ns, group)
         self.flows[flow_id] = record
         return record
+
+    def retire_flow(self, flow_id: int) -> bool:
+        """Drop a *completed* flow's record, folding it into the
+        retired aggregates (O(1) memory for steady-state runs).
+
+        Only completed flows retire — an in-flight record is still
+        being written by its transport. Retired flows disappear from
+        per-flow views (``fct_list``/``fct_summary``); callers that
+        retire must measure latency on their own streaming estimators
+        (see :mod:`repro.stats.streaming`). Returns True on retire.
+        """
+        record = self.flows.get(flow_id)
+        if record is None or record.end_rx_ns is None:
+            return False
+        del self.flows[flow_id]
+        self.foreign_src_flows.discard(flow_id)
+        group = record.group
+        self.retired_flows[group] = self.retired_flows.get(group, 0) + 1
+        self.retired_bytes[group] = self.retired_bytes.get(group, 0) + record.size
+        self.retired_timeouts += record.timeouts
+        return True
 
     def add_rtt_sample(self, rtt_ns: int, group: str) -> None:
         samples = self.rtt_samples_fg if group == "fg" else self.rtt_samples_bg
@@ -236,8 +264,9 @@ class NetStats:
 
     def flow_count(self, group: Optional[str] = None) -> int:
         if group is None:
-            return len(self.flows)
-        return sum(1 for r in self.flows.values() if r.group == group)
+            return len(self.flows) + sum(self.retired_flows.values())
+        return (sum(1 for r in self.flows.values() if r.group == group)
+                + self.retired_flows.get(group, 0))
 
     def incomplete_flows(self, group: Optional[str] = None) -> int:
         return sum(
@@ -247,14 +276,14 @@ class NetStats:
         )
 
     def timeouts_per_1k_flows(self) -> float:
-        flows = len(self.flows)
+        flows = self.flow_count()
         if flows == 0:
             return 0.0
-        total = sum(r.timeouts for r in self.flows.values())
+        total = sum(r.timeouts for r in self.flows.values()) + self.retired_timeouts
         return 1000.0 * total / flows
 
     def pause_frames_per_1k_flows(self) -> float:
-        flows = len(self.flows)
+        flows = self.flow_count()
         if flows == 0:
             return 0.0
         return 1000.0 * self.pause_frames / flows
@@ -285,5 +314,7 @@ class NetStats:
         """Aggregate goodput of completed ``group`` flows over ``window_ns``."""
         if window_ns <= 0:
             return 0.0
-        done = [r for r in self.flows.values() if r.group == group and r.completed]
-        return sum(r.size for r in done) * 8 * 1e9 / window_ns
+        done = sum(r.size for r in self.flows.values()
+                   if r.group == group and r.completed)
+        done += self.retired_bytes.get(group, 0)
+        return done * 8 * 1e9 / window_ns

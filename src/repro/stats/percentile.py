@@ -15,10 +15,17 @@ def percentile(samples: Sequence[float], p: float) -> float:
 
 
 def summarize(samples: Sequence[float]) -> Dict[str, float]:
-    """Mean / median / p99 / p999 / max summary of a sample set."""
-    if not len(samples):
-        return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0}
+    """Mean / median / p99 / p999 / max summary of a sample set.
+
+    Type contract (same for empty and non-empty inputs, and matched by
+    :meth:`repro.stats.streaming.StreamingQuantile.summarize` so the
+    two are drop-in interchangeable): ``count`` is a builtin ``int``,
+    every other value a builtin ``float`` — never a numpy scalar, so
+    the dicts JSON-serialize and compare identically either way.
+    """
     arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0}
     return {
         "count": int(arr.size),
         "mean": float(arr.mean()),

@@ -433,6 +433,38 @@ class LinkUtilization(Sampler):
         return sum(1 for s in self.samples if s >= threshold) / len(self.samples)
 
 
+class ServiceLatencySampler(Sampler):
+    """Per-tier response-latency percentiles from the service emulator.
+
+    Reads the emulator's streaming sketches (cumulative — each tick
+    reports the distribution so far, not a window) and emits one row
+    per backend tier plus one for the end-to-end request stream
+    (``tier="request"``). Reading a sketch never perturbs it, so the
+    determinism contract holds.
+    """
+
+    stream = "service"
+
+    def __init__(self, emulator, interval_ns: int, emit: EmitFn, **kwargs):
+        self.emulator = emulator
+        super().__init__(emulator.engine, interval_ns, emit, **kwargs)
+
+    def _row(self, tier: str, sketch) -> Dict:
+        return {
+            "tier": tier,
+            "count": len(sketch),
+            "p50_ns": int(sketch.percentile(50)),
+            "p99_ns": int(sketch.percentile(99)),
+            "p999_ns": int(sketch.percentile(99.9)),
+        }
+
+    def sample(self) -> None:
+        emulator = self.emulator
+        self.emit(self.stream, self._row("request", emulator.request_sketch))
+        for tier, sketch in zip(emulator.spec.tiers, emulator.tier_sketches):
+            self.emit(self.stream, self._row(tier.name, sketch))
+
+
 #: Stream name -> required row fields, shared with tools/check_telemetry.py.
 STREAM_FIELDS: Dict[str, Tuple[str, ...]] = {
     "queue": ("switch", "port", "tclass", "occ", "red", "green", "k"),
@@ -442,4 +474,5 @@ STREAM_FIELDS: Dict[str, Tuple[str, ...]] = {
     "link": ("device", "port", "util"),
     "policy": ("switch", "policy", "k"),
     "path": ("switch", "selection", "flowlets", "reroutes"),
+    "service": ("tier", "count", "p50_ns", "p99_ns", "p999_ns"),
 }

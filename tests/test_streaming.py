@@ -1,0 +1,139 @@
+"""Streaming quantile sketch: accuracy, memory, merge determinism."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.stats.percentile import summarize as exact_summarize
+from repro.stats.streaming import (
+    DEFAULT_ALPHA,
+    StreamingQuantile,
+    merge_all,
+    merge_states,
+)
+
+
+def test_empty_sketch():
+    sketch = StreamingQuantile()
+    assert len(sketch) == 0
+    assert sketch.percentile(99) == 0.0
+    summary = sketch.summarize()
+    assert summary["count"] == 0
+    assert summary["p99"] == 0.0
+
+
+def test_exact_aggregates():
+    sketch = StreamingQuantile()
+    values = [5, 1, 100, 42, 7]
+    sketch.extend(values)
+    assert len(sketch) == len(values)
+    assert sketch.min == 1
+    assert sketch.max == 100
+    assert sketch.mean == pytest.approx(sum(values) / len(values))
+
+
+def test_relative_error_bound_small():
+    sketch = StreamingQuantile()
+    values = list(range(1, 10_001))
+    sketch.extend(values)
+    for q in (0.5, 0.9, 0.99, 0.999):
+        exact = values[math.ceil(q * len(values)) - 1]
+        got = sketch.quantile(q)
+        assert abs(got - exact) / exact <= DEFAULT_ALPHA
+
+
+def test_parity_with_exact_percentiles_at_1e6():
+    """Satellite gate: the streaming estimate matches exact numpy
+    percentiles within the documented tolerance (alpha = 1% relative
+    error per quantile; 2% asserted to leave room for the nearest-rank
+    vs interpolated-percentile definition gap) at 10^6 samples."""
+    rng = random.Random(1234)
+    samples = [rng.lognormvariate(10.0, 1.5) for _ in range(1_000_000)]
+    sketch = StreamingQuantile()
+    sketch.extend(samples)
+    exact = exact_summarize(samples)
+    approx = sketch.summarize()
+    assert approx["count"] == exact["count"] == 1_000_000
+    for key in ("p50", "p99", "p999"):
+        rel = abs(approx[key] - exact[key]) / exact[key]
+        assert rel <= 2 * DEFAULT_ALPHA, (key, approx[key], exact[key])
+    exact_p90 = float(np.percentile(np.asarray(samples), 90))
+    assert abs(sketch.percentile(90) - exact_p90) / exact_p90 <= 2 * DEFAULT_ALPHA
+    assert approx["mean"] == pytest.approx(exact["mean"], rel=1e-9)
+    assert approx["max"] == pytest.approx(exact["max"], rel=1e-9)
+
+
+def test_o1_memory_at_1e6_samples():
+    """Bucket count is bounded by the dynamic range, not the sample
+    count: a million lognormal draws land in a few hundred buckets."""
+    rng = random.Random(99)
+    sketch = StreamingQuantile()
+    for _ in range(1_000_000):
+        sketch.add(rng.lognormvariate(10.0, 1.5))
+    assert len(sketch.buckets) < 2_000
+
+
+def test_sharded_merge_bit_identical():
+    """Any shard split, any merge order: identical state. Integer
+    samples (the nanosecond-latency contract) keep the exact-sum
+    accumulator order-independent."""
+    rng = random.Random(7)
+    samples = [1 + int(rng.expovariate(1e-6)) for _ in range(30_000)]
+    whole = StreamingQuantile()
+    whole.extend(samples)
+
+    shards = [StreamingQuantile() for _ in range(4)]
+    for index, value in enumerate(samples):
+        shards[index % 4].add(value)
+    merged = merge_all(shards)
+    assert merged.to_state() == whole.to_state()
+
+    reordered = merge_all([shards[2], shards[0], shards[3], shards[1]])
+    assert reordered.to_state() == whole.to_state()
+
+    assert merge_states([s.to_state() for s in shards]) == whole.to_state()
+
+
+def test_state_round_trip():
+    sketch = StreamingQuantile()
+    sketch.extend([1, 0, 2.5, 1e9, 3])  # includes an exact zero
+    clone = StreamingQuantile.from_state(sketch.to_state())
+    assert clone.to_state() == sketch.to_state()
+    assert len(clone) == len(sketch)
+    assert clone.percentile(99) == sketch.percentile(99)
+
+
+def test_summarize_type_parity_with_exact():
+    """Satellite (b): both summarize() implementations return builtin
+    int for count and builtin float for every other key."""
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+    sketch = StreamingQuantile()
+    sketch.extend(samples)
+    approx = sketch.summarize()
+    exact = exact_summarize(samples)
+    assert set(approx) == set(exact)
+    for key in exact:
+        want = int if key == "count" else float
+        assert type(exact[key]) is want, (key, type(exact[key]))
+        assert type(approx[key]) is want, (key, type(approx[key]))
+
+
+def test_exact_summarize_accepts_numpy_input():
+    summary = exact_summarize(np.array([1.0, 2.0, 3.0]))
+    assert type(summary["count"]) is int
+    assert type(summary["p99"]) is float
+
+
+def test_nonpositive_values_clamp_to_zero_bucket():
+    sketch = StreamingQuantile()
+    sketch.extend([0, 0, 10.0])
+    assert sketch.zeros == 2
+    assert sketch.quantile(0.0) == 0.0
+    assert sketch.quantile(1.0) == pytest.approx(10.0, rel=DEFAULT_ALPHA)
+
+
+def test_mismatched_alpha_merge_rejected():
+    with pytest.raises(ValueError):
+        StreamingQuantile(alpha=0.01).merge(StreamingQuantile(alpha=0.02))

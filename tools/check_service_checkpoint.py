@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Checkpoint/restore determinism gate for CI.
+
+For each transport config, runs the same tiny service scenario three
+ways and insists on bit-for-bit equal fingerprints
+(:func:`repro.service.run.service_fingerprint`):
+
+- **A** — uninterrupted run;
+- **B** — same config with a mid-run checkpoint saved (saving must not
+  perturb the simulation it snapshots);
+- **C** — a fresh process-state restore from B's checkpoint file,
+  driven to completion.
+
+A == B proves checkpointing is observation-only; A == C proves the
+restored object graph — engine heap, timer wheel, transports, switch
+state, RNG streams, latency sketches — continues exactly where the
+original would have been. The runtime invariant auditor is attached to
+every run, so the gate also fails on any violated simulation
+invariant.
+
+Usage::
+
+    python tools/check_service_checkpoint.py [--configs dctcp,dcqcn]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SERVICE_SPEC = {
+    "requests": 150,
+    "rate_rps": 30_000.0,
+    "tiers": [
+        {"name": "cache", "servers": 4, "fanout": 2, "service_ns": 2_000},
+        {"name": "storage", "servers": 3, "fanout": 1,
+         "workload": "web_server", "max_bytes": 8_000, "service_ns": 10_000,
+         "hedge_ns": 2_000_000},
+    ],
+}
+
+#: (label, transport, tlt) configurations the gate covers. dcqcn
+#: exercises the per-switch RED RNG streams (module-level
+#: EcnStreamFactory — the closure that used to make RoCE
+#: un-picklable).
+CONFIGS = (
+    ("dctcp", "dctcp", False),
+    ("dctcp_tlt", "dctcp", True),
+    ("dcqcn", "dcqcn", False),
+)
+
+
+def check_one(label: str, transport: str, tlt: bool) -> None:
+    from repro.experiments.scale import TINY
+    from repro.experiments.scenarios import ScenarioConfig, run_scenario
+    from repro.service.run import resume_service, service_fingerprint
+    from repro.sim.checkpoint import default_path
+
+    def config(**overrides):
+        base = dict(transport=transport, tlt=tlt, scale=TINY,
+                    service=SERVICE_SPEC, enable_background=False,
+                    enable_incast=False, audit=True, seed=1)
+        base.update(overrides)
+        return ScenarioConfig(**base)
+
+    started = time.perf_counter()
+    fp_a = service_fingerprint(run_scenario(config()))
+    with tempfile.TemporaryDirectory() as tmp:
+        fp_b = service_fingerprint(run_scenario(config(checkpoint=tmp)))
+        path = default_path(tmp)
+        size_kb = os.path.getsize(path) / 1024
+        fp_c = service_fingerprint(resume_service(path))
+    wall = time.perf_counter() - started
+    if fp_a != fp_b:
+        raise SystemExit(
+            f"{label}: checkpointed run diverged from uninterrupted run "
+            f"(saving perturbed the simulation):\nA={fp_a}\nB={fp_b}")
+    if fp_a != fp_c:
+        raise SystemExit(
+            f"{label}: restored run diverged from uninterrupted run:"
+            f"\nA={fp_a}\nC={fp_c}")
+    print(f"{label:10s} ok: events={fp_a['events']} now={fp_a['now']}ns "
+          f"timeouts={fp_a['timeouts']} checkpoint={size_kb:.0f}kB "
+          f"({wall:.1f}s)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--configs", default=None, metavar="LABELS",
+                        help="comma-separated subset of "
+                             + ",".join(label for label, _, _ in CONFIGS))
+    args = parser.parse_args(argv)
+
+    wanted = set(args.configs.split(",")) if args.configs else None
+    ran = 0
+    for label, transport, tlt in CONFIGS:
+        if wanted is not None and label not in wanted:
+            continue
+        check_one(label, transport, tlt)
+        ran += 1
+    if not ran:
+        print(f"no configs matched {args.configs!r}", file=sys.stderr)
+        return 2
+    print(f"checkpoint/restore determinism: {ran} config(s) bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
